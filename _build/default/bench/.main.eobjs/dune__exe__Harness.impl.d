@@ -1,0 +1,1 @@
+bench/harness.ml: Benchmarks Entropy_model Hashtbl Interval_model Lazy List Power Printf Profile Profiler Sim_result Simulator Stats Sweep Table Uarch Workload_spec

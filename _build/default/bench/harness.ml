@@ -1,0 +1,144 @@
+(* Shared state for the experiment harness: per-benchmark profiles and
+   reference simulations are computed once and reused by every experiment
+   that needs them, mirroring the paper's "profile once" workflow. *)
+
+let seed = 1
+let n_ref = 200_000
+(* Design-space experiments simulate every (config, benchmark) pair, so
+   they use shorter runs. *)
+let n_space = 60_000
+
+let all_benchmarks = Benchmarks.names
+
+(* ---- Trained entropy model (Fig 3.8 workflow) ---- *)
+
+let entropy_model_for =
+  let cache : (Uarch.predictor_kind, Entropy_model.t) Hashtbl.t = Hashtbl.create 5 in
+  fun kind ->
+    match Hashtbl.find_opt cache kind with
+    | Some m -> m
+    | None ->
+      let cfg = { Uarch.reference.predictor with kind } in
+      let m =
+        Entropy_model.train cfg ~workloads:Benchmarks.all ~samples_per_workload:4
+          ~instructions_per_sample:50_000 ~seed:1234 ()
+      in
+      Hashtbl.replace cache kind m;
+      m
+
+let model_options () =
+  let em = entropy_model_for Uarch.reference.predictor.kind in
+  {
+    Interval_model.default_options with
+    branch_missrate = (fun ~entropy -> Entropy_model.miss_rate em ~entropy);
+  }
+
+(* ---- Per-benchmark cached artifacts (reference runs) ---- *)
+
+type cached = {
+  spec : Workload_spec.t;
+  profile : Profile.t Lazy.t;
+  sim : Sim_result.t Lazy.t;
+  prediction : Interval_model.prediction Lazy.t;
+}
+
+let cache : (string, cached) Hashtbl.t = Hashtbl.create 32
+
+let get name =
+  match Hashtbl.find_opt cache name with
+  | Some c -> c
+  | None ->
+    let spec = Benchmarks.find name in
+    let profile = lazy (Profiler.profile spec ~seed ~n_instructions:n_ref) in
+    let c =
+      {
+        spec;
+        profile;
+        sim = lazy (Simulator.run Uarch.reference spec ~seed ~n_instructions:n_ref);
+        prediction =
+          lazy
+            (Interval_model.predict ~options:(model_options ()) Uarch.reference
+               (Lazy.force profile));
+      }
+    in
+    Hashtbl.replace cache name c;
+    c
+
+let profile name = Lazy.force (get name).profile
+let sim name = Lazy.force (get name).sim
+let prediction name = Lazy.force (get name).prediction
+
+(* ---- Design-space results (model + sim), shared by the Ch. 6/7
+   experiments ---- *)
+
+(* The 27-point sub-space used for simulation-backed comparisons: the
+   width / ROB / L3 axes of Table 6.3 at the reference L1/L2 sizes.  The
+   full 243-point space would need 243 x 29 detailed simulations — exactly
+   the cost the paper's model exists to avoid. *)
+let sim_subspace =
+  List.filter
+    (fun (u : Uarch.t) ->
+      u.caches.l1d.size_bytes = 32 * 1024 && u.caches.l2.size_bytes = 256 * 1024)
+    Uarch.design_space
+
+type space_result = {
+  sp_bench : string;
+  sp_model : Sweep.eval list;
+  sp_sim : Sweep.eval list;
+}
+
+let space_cache : (string, space_result) Hashtbl.t = Hashtbl.create 32
+
+let space_result name =
+  match Hashtbl.find_opt space_cache name with
+  | Some r -> r
+  | None ->
+    let spec = Benchmarks.find name in
+    let profile = Profiler.profile spec ~seed ~n_instructions:n_space in
+    let r =
+      {
+        sp_bench = name;
+        sp_model =
+          Sweep.model_sweep ~options:(model_options ()) ~profile sim_subspace;
+        sp_sim = Sweep.sim_sweep ~spec ~seed ~n_instructions:n_space sim_subspace;
+      }
+    in
+    Hashtbl.replace space_cache name r;
+    r
+
+(* ---- Small helpers ---- *)
+
+let cpi_error name =
+  let s = Sim_result.cpi (sim name) in
+  let m = Interval_model.cpi (prediction name) in
+  Stats.relative_error ~predicted:m ~reference:s
+
+let power_of_sim name =
+  (Power.estimate Uarch.reference (sim name).r_activity).total_watts
+
+let power_of_model name =
+  (Power.estimate Uarch.reference (prediction name).pr_activity).total_watts
+
+let fmt_err e = Printf.sprintf "%+.1f%%" (100.0 *. e)
+
+let summarize_errors label errors =
+  Printf.printf "%s: mean |err| %s, max |err| %s\n" label
+    (Table.fmt_pct (Stats.mean_abs errors))
+    (Table.fmt_pct (Stats.max_abs errors))
+
+let print_box label (values : float list) =
+  let b = Stats.box_summary values in
+  Printf.printf "%s: q1 %s | median %s | mean %s | q3 %s | whiskers [%s, %s]%s\n"
+    label (Table.fmt_pct b.q1) (Table.fmt_pct b.median) (Table.fmt_pct b.mean)
+    (Table.fmt_pct b.q3) (Table.fmt_pct b.whisker_lo) (Table.fmt_pct b.whisker_hi)
+    (if b.outliers = [] then ""
+     else Printf.sprintf " | %d outliers" (List.length b.outliers))
+
+let pearson xs ys =
+  let n = float_of_int (List.length xs) in
+  let mx = Stats.mean xs and my = Stats.mean ys in
+  let cov =
+    List.fold_left2 (fun a x y -> a +. ((x -. mx) *. (y -. my))) 0.0 xs ys /. n
+  in
+  let sx = Stats.stdev xs and sy = Stats.stdev ys in
+  if sx = 0.0 || sy = 0.0 then 1.0 else cov /. (sx *. sy)

@@ -1,0 +1,395 @@
+(* mipp — command-line front-end to the modeling framework.
+
+   Subcommands:
+     list                          available benchmarks and design axes
+     profile   -b BENCH            profile and print the summary
+     predict   -b BENCH [-c CFG]   analytical performance + power prediction
+     simulate  -b BENCH [-c CFG]   cycle-level simulation (the ground truth)
+     compare   -b BENCH [-c CFG]   model vs simulator, side by side
+     sweep     -b BENCH            243-point design-space sweep + Pareto front *)
+
+open Cmdliner
+
+let bench_arg =
+  let doc = "Benchmark name (see `mipp list`)." in
+  Arg.(value & opt string "gcc" & info [ "b"; "benchmark" ] ~docv:"BENCH" ~doc)
+
+let instructions_arg =
+  let doc = "Instructions to profile/simulate." in
+  Arg.(value & opt int 200_000 & info [ "n"; "instructions" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "Workload generation seed." in
+  Arg.(value & opt int 1 & info [ "s"; "seed" ] ~docv:"SEED" ~doc)
+
+let config_arg =
+  let doc =
+    "Micro-architecture: 'reference', 'low-power', or a design-space name like \
+     'w4-rob128-l1_32k-l2_256k-l3_8m'."
+  in
+  Arg.(value & opt string "reference" & info [ "c"; "config" ] ~docv:"CFG" ~doc)
+
+let prefetch_arg =
+  let doc = "Enable the stride prefetcher." in
+  Arg.(value & flag & info [ "prefetch" ] ~doc)
+
+let output_arg =
+  let doc = "Write the profile to this file (AIP-style: profile once, model many)." in
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
+let profile_file_arg =
+  let doc = "Load a previously saved profile instead of re-profiling." in
+  Arg.(value & opt (some string) None & info [ "p"; "profile-file" ] ~docv:"FILE" ~doc)
+
+let find_bench name =
+  try Benchmarks.find name
+  with Not_found ->
+    Printf.eprintf "unknown benchmark %S; run `mipp list`\n" name;
+    exit 2
+
+let spec_file_arg =
+  let doc =
+    "Load the workload from a spec file (see lib/workload/workload_parser.mli \
+     for the format) instead of using a built-in benchmark."
+  in
+  Arg.(value & opt (some string) None & info [ "spec-file" ] ~docv:"FILE" ~doc)
+
+let find_workload bench = function
+  | None -> find_bench bench
+  | Some path -> (
+    match Workload_parser.load path with
+    | Ok spec -> spec
+    | Error msg ->
+      Printf.eprintf "cannot load workload spec %s: %s\n" path msg;
+      exit 2)
+
+let obtain_profile ~bench ~n ~seed = function
+  | Some path -> (
+    try Profile_io.load path
+    with Failure msg | Sys_error msg ->
+      Printf.eprintf "cannot load profile %s: %s\n" path msg;
+      exit 2)
+  | None -> Profiler.profile (find_bench bench) ~seed ~n_instructions:n
+
+let find_config name =
+  match name with
+  | "reference" -> Uarch.reference
+  | "low-power" -> Uarch.low_power
+  | other -> (
+    match
+      List.find_opt (fun (u : Uarch.t) -> u.name = other) Uarch.design_space
+    with
+    | Some u -> u
+    | None ->
+      Printf.eprintf "unknown config %S; run `mipp list`\n" other;
+      exit 2)
+
+let print_config u =
+  Table.print ~header:[ "parameter"; "value" ]
+    ~rows:(List.map (fun (k, v) -> [ k; v ]) (Uarch.describe u))
+
+(* ---- list ---- *)
+
+let list_cmd =
+  let run () =
+    print_endline "Benchmarks (synthetic SPEC CPU 2006 stand-ins):";
+    List.iter
+      (fun n -> Printf.printf "  %-11s %s\n" n (Benchmarks.describe n))
+      Benchmarks.names;
+    print_endline "\nDesign-space axes (Table 6.3):";
+    List.iter
+      (fun (axis, values) ->
+        Printf.printf "  %-18s %s\n" axis (String.concat ", " values))
+      Uarch.design_space_axes;
+    Printf.printf "\n%d design points; named configs: reference, low-power\n"
+      (List.length Uarch.design_space)
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List benchmarks and design points")
+    Term.(const run $ const ())
+
+(* ---- profile ---- *)
+
+let profile_cmd =
+  let run bench n seed output spec_file =
+    let spec = find_workload bench spec_file in
+    let t0 = Unix.gettimeofday () in
+    let p = Profiler.profile spec ~seed ~n_instructions:n in
+    let dt = Unix.gettimeofday () -. t0 in
+    (match output with
+    | Some path ->
+      Profile_io.save path p;
+      Printf.printf "profile written to %s\n" path
+    | None -> ());
+    Table.section
+      (Printf.sprintf "Profile of %s (%d instructions, %.2fs)"
+         spec.Workload_spec.wname n dt);
+    let mix = Profile.total_mix p in
+    let total = float_of_int (Isa.Class_counts.total mix) in
+    Table.print ~header:[ "metric"; "value" ]
+      ~rows:
+        ([
+           [ "micro-traces"; string_of_int (Array.length p.p_microtraces) ];
+           [ "micro-ops / instruction"; Table.fmt_f p.p_uops_per_instruction ];
+           [ "branch entropy"; Table.fmt_f p.p_entropy ];
+           [ "branch fraction"; Table.fmt_pct p.p_branch_fraction ];
+           [ "cold access rate"; Table.fmt_pct (Profile.cold_miss_rate p) ];
+           [ "AP(128)"; Table.fmt_f (Profile.mean_chain p ~which:`Ap ~rob:128) ];
+           [ "ABP(128)"; Table.fmt_f (Profile.mean_chain p ~which:`Abp ~rob:128) ];
+           [ "CP(128)"; Table.fmt_f (Profile.mean_chain p ~which:`Cp ~rob:128) ];
+         ]
+        @ List.filter_map
+            (fun cls ->
+              let c = Isa.Class_counts.get mix cls in
+              if c = 0 then None
+              else
+                Some
+                  [
+                    "mix: " ^ Isa.class_to_string cls;
+                    Table.fmt_pct (float_of_int c /. total);
+                  ])
+            Isa.all_classes)
+  in
+  Cmd.v (Cmd.info "profile" ~doc:"Profile a workload (micro-architecture independent)")
+    Term.(const run $ bench_arg $ instructions_arg $ seed_arg $ output_arg
+          $ spec_file_arg)
+
+(* ---- predict / simulate / compare ---- *)
+
+let prediction_rows (pred : Interval_model.prediction) breakdown =
+  let cpi = Interval_model.cpi pred in
+  [
+    [ "CPI"; Table.fmt_f cpi ];
+    [ "cycles"; Table.fmt_f ~decimals:0 pred.pr_cycles ];
+    [ "MLP"; Table.fmt_f pred.pr_mlp ];
+    [ "power (W)"; Table.fmt_f ~decimals:1 breakdown.Power.total_watts ];
+  ]
+  @ List.map
+      (fun (name, v) -> [ "CPI: " ^ name; Table.fmt_f (v /. pred.pr_instructions) ])
+      (Interval_model.components_list pred.pr_components)
+
+let predict_cmd =
+  let run bench n seed config prefetch profile_file =
+    let u = find_config config in
+    let u = if prefetch then Uarch.with_prefetcher u true else u in
+    let p = obtain_profile ~bench ~n ~seed profile_file in
+    let t0 = Unix.gettimeofday () in
+    let pred = Interval_model.predict u p in
+    let dt = Unix.gettimeofday () -. t0 in
+    let breakdown = Power.estimate u pred.pr_activity in
+    Table.section
+      (Printf.sprintf "Prediction: %s on %s (%.0f ms model time)" bench u.name
+         (1000.0 *. dt));
+    print_config u;
+    print_newline ();
+    Table.print ~header:[ "metric"; "value" ] ~rows:(prediction_rows pred breakdown)
+  in
+  Cmd.v (Cmd.info "predict" ~doc:"Analytical performance and power prediction")
+    Term.(const run $ bench_arg $ instructions_arg $ seed_arg $ config_arg
+          $ prefetch_arg $ profile_file_arg)
+
+let sim_rows (r : Sim_result.t) breakdown =
+  [
+    [ "CPI"; Table.fmt_f (Sim_result.cpi r) ];
+    [ "cycles"; string_of_int r.r_cycles ];
+    [ "MLP (measured)"; Table.fmt_f r.r_mlp ];
+    [ "branch MPKI"; Table.fmt_f (Sim_result.branch_mpki r) ];
+    [ "L1/L2/L3 load MPKI";
+      Printf.sprintf "%s / %s / %s"
+        (Table.fmt_f ~decimals:1 (Sim_result.mpki r `L1))
+        (Table.fmt_f ~decimals:1 (Sim_result.mpki r `L2))
+        (Table.fmt_f ~decimals:1 (Sim_result.mpki r `L3)) ];
+    [ "power (W)"; Table.fmt_f ~decimals:1 breakdown.Power.total_watts ];
+  ]
+  @ List.map
+      (fun (name, v) ->
+        [ "CPI: " ^ name; Table.fmt_f (v /. float_of_int r.r_instructions) ])
+      (Sim_result.stack_components r.r_stack)
+
+let simulate_cmd =
+  let run bench n seed config prefetch spec_file =
+    let spec = find_workload bench spec_file in
+    let u = find_config config in
+    let u = if prefetch then Uarch.with_prefetcher u true else u in
+    let t0 = Unix.gettimeofday () in
+    let r = Simulator.run u spec ~seed ~n_instructions:n in
+    let dt = Unix.gettimeofday () -. t0 in
+    let breakdown = Power.estimate u r.r_activity in
+    Table.section
+      (Printf.sprintf "Simulation: %s on %s (%.2fs, %.0f kIPS)"
+         spec.Workload_spec.wname u.name dt
+         (float_of_int r.r_instructions /. dt /. 1000.0));
+    Table.print ~header:[ "metric"; "value" ] ~rows:(sim_rows r breakdown)
+  in
+  Cmd.v (Cmd.info "simulate" ~doc:"Cycle-level reference simulation")
+    Term.(const run $ bench_arg $ instructions_arg $ seed_arg $ config_arg
+          $ prefetch_arg $ spec_file_arg)
+
+let compare_cmd =
+  let run bench n seed config prefetch spec_file =
+    let spec = find_workload bench spec_file in
+    let u = find_config config in
+    let u = if prefetch then Uarch.with_prefetcher u true else u in
+    let r = Simulator.run u spec ~seed ~n_instructions:n in
+    let p = Profiler.profile spec ~seed ~n_instructions:n in
+    let pred = Interval_model.predict u p in
+    let scpi = Sim_result.cpi r and mcpi = Interval_model.cpi pred in
+    let spow = (Power.estimate u r.r_activity).total_watts in
+    let mpow = (Power.estimate u pred.pr_activity).total_watts in
+    Table.section
+      (Printf.sprintf "Model vs simulator: %s on %s" spec.Workload_spec.wname u.name);
+    Table.print
+      ~header:[ "metric"; "model"; "simulator"; "error" ]
+      ~rows:
+        [
+          [ "CPI"; Table.fmt_f mcpi; Table.fmt_f scpi;
+            Table.fmt_pct (Stats.relative_error ~predicted:mcpi ~reference:scpi) ];
+          [ "power (W)"; Table.fmt_f ~decimals:1 mpow; Table.fmt_f ~decimals:1 spow;
+            Table.fmt_pct (Stats.relative_error ~predicted:mpow ~reference:spow) ];
+          [ "MLP"; Table.fmt_f pred.pr_mlp; Table.fmt_f r.r_mlp; "" ];
+        ]
+  in
+  Cmd.v (Cmd.info "compare" ~doc:"Model prediction vs cycle-level simulation")
+    Term.(const run $ bench_arg $ instructions_arg $ seed_arg $ config_arg
+          $ prefetch_arg $ spec_file_arg)
+
+(* ---- report ---- *)
+
+let report_cmd =
+  let run n seed =
+    Table.section
+      (Printf.sprintf "Suite accuracy report: model vs simulator (%d instructions)" n);
+    let errors = ref [] and perrors = ref [] in
+    let rows =
+      List.map
+        (fun bench ->
+          let spec = Benchmarks.find bench in
+          let sim = Simulator.run Uarch.reference spec ~seed ~n_instructions:n in
+          let p = Profiler.profile spec ~seed ~n_instructions:n in
+          let pred = Interval_model.predict Uarch.reference p in
+          let scpi = Sim_result.cpi sim and mcpi = Interval_model.cpi pred in
+          let spow = (Power.estimate Uarch.reference sim.r_activity).total_watts in
+          let mpow = (Power.estimate Uarch.reference pred.pr_activity).total_watts in
+          let e = Stats.relative_error ~predicted:mcpi ~reference:scpi in
+          let pe = Stats.relative_error ~predicted:mpow ~reference:spow in
+          errors := Float.abs e :: !errors;
+          perrors := Float.abs pe :: !perrors;
+          [
+            bench;
+            Table.fmt_f scpi;
+            Table.fmt_f mcpi;
+            Table.fmt_pct e;
+            Table.fmt_f ~decimals:1 spow;
+            Table.fmt_f ~decimals:1 mpow;
+            Table.fmt_pct pe;
+          ])
+        Benchmarks.names
+    in
+    Table.print
+      ~header:
+        [ "benchmark"; "sim CPI"; "model CPI"; "CPI err"; "sim W"; "model W";
+          "power err" ]
+      ~rows;
+    Printf.printf "\nmean |CPI error| %s   mean |power error| %s\n"
+      (Table.fmt_pct (Stats.mean !errors))
+      (Table.fmt_pct (Stats.mean !perrors))
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc:"Model-vs-simulator accuracy report across the suite")
+    Term.(const run $ instructions_arg $ seed_arg)
+
+(* ---- multicore ---- *)
+
+let multicore_cmd =
+  let benches_arg =
+    let doc = "Comma-separated benchmarks, one per core (e.g. milc,gamess)." in
+    Arg.(value & opt string "milc,gamess" & info [ "w"; "workloads" ] ~docv:"LIST" ~doc)
+  in
+  let run benches n seed =
+    let names = String.split_on_char ',' benches |> List.filter (fun s -> s <> "") in
+    if List.length names < 2 then begin
+      Printf.eprintf "need at least two workloads\n";
+      exit 2
+    end;
+    let specs = List.map find_bench names in
+    let profiles =
+      List.mapi
+        (fun i (name, spec) ->
+          (name, Profiler.profile spec ~seed:(seed + i) ~n_instructions:n))
+        (List.combine names specs)
+    in
+    let preds = Multicore_model.predict Uarch.reference profiles in
+    let sims =
+      Simulator.run_shared Uarch.reference
+        (List.mapi (fun i spec -> (spec, seed + i)) specs)
+        ~n_instructions:n
+    in
+    let solos =
+      List.mapi
+        (fun i spec -> Simulator.run Uarch.reference spec ~seed:(seed + i)
+            ~n_instructions:n)
+        specs
+    in
+    Table.section
+      (Printf.sprintf "%d cores sharing one LLC and memory bus" (List.length names));
+    Table.print
+      ~header:
+        [ "core"; "model slowdown"; "sim slowdown"; "model LLC share";
+          "shared CPI (sim)" ]
+      ~rows:
+        (List.map2
+           (fun (pred : Multicore_model.core_prediction)
+                ((shared : Sim_result.t), (solo : Sim_result.t)) ->
+             [
+               pred.mc_workload;
+               Table.fmt_f ~decimals:2 pred.mc_slowdown;
+               Table.fmt_f ~decimals:2
+                 (float_of_int shared.r_cycles /. float_of_int solo.r_cycles);
+               Table.fmt_pct pred.mc_l3_share;
+               Table.fmt_f (Sim_result.cpi shared);
+             ])
+           preds
+           (List.combine sims solos))
+  in
+  Cmd.v
+    (Cmd.info "multicore"
+       ~doc:"Multi-core sharing: analytical model vs lockstep simulator")
+    Term.(const run $ benches_arg $ instructions_arg $ seed_arg)
+
+(* ---- sweep ---- *)
+
+let sweep_cmd =
+  let run bench n seed =
+    let spec = find_bench bench in
+    let p = Profiler.profile spec ~seed ~n_instructions:n in
+    let t0 = Unix.gettimeofday () in
+    let evals = Sweep.model_sweep ~profile:p Uarch.design_space in
+    let dt = Unix.gettimeofday () -. t0 in
+    let front = Pareto.frontier (Sweep.pareto_points evals) in
+    Table.section
+      (Printf.sprintf "Design-space sweep: %s (%d points in %.2fs)" bench
+         (List.length evals) dt);
+    Table.print
+      ~header:[ "Pareto design"; "time (ms)"; "power (W)"; "CPI" ]
+      ~rows:
+        (List.map
+           (fun (pt : Pareto.point) ->
+             let e = List.nth evals pt.pt_id in
+             [
+               e.Sweep.sw_config.name;
+               Table.fmt_f ~decimals:2 (1000.0 *. e.sw_seconds);
+               Table.fmt_f ~decimals:1 e.sw_watts;
+               Table.fmt_f e.sw_cpi;
+             ])
+           front)
+  in
+  Cmd.v (Cmd.info "sweep" ~doc:"Analytical 243-point design-space sweep")
+    Term.(const run $ bench_arg $ instructions_arg $ seed_arg)
+
+let () =
+  let doc = "Micro-architecture independent processor performance & power modeling" in
+  let info = Cmd.info "mipp" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; profile_cmd; predict_cmd; simulate_cmd; compare_cmd;
+            report_cmd; sweep_cmd; multicore_cmd ]))

@@ -1,0 +1,1 @@
+examples/cpi_stack_analysis.ml: Array Benchmarks Interval_model List Printf Profiler Sim_result Simulator Sys Table Uarch

@@ -1,0 +1,1 @@
+examples/cpi_stack_analysis.mli:

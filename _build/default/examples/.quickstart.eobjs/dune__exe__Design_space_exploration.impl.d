@@ -1,0 +1,1 @@
+examples/design_space_exploration.ml: Array Benchmarks List Option Pareto Printf Profiler String Sweep Sys Table Uarch Unix

@@ -1,0 +1,1 @@
+examples/dvfs_exploration.ml: Array Benchmarks Interval_model List Power Printf Profiler Sys Table Uarch

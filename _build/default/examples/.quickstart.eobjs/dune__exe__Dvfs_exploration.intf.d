@@ -1,0 +1,1 @@
+examples/dvfs_exploration.mli:

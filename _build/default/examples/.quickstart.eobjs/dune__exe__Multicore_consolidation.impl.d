@@ -1,0 +1,1 @@
+examples/multicore_consolidation.ml: Array Benchmarks Float List Multicore_model Printf Profiler Simulator Sys Table Uarch

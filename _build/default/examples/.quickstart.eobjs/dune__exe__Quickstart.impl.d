@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Benchmarks Interval_model Power Printf Profiler Sim_result Simulator Stats Uarch

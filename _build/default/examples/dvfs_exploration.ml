@@ -1,0 +1,61 @@
+(* DVFS exploration (§7.3, Table 7.2, Fig 7.3): sweep the
+   voltage/frequency operating points of the reference core and find the
+   ED2P-optimal setting — once per workload, from one profile.
+
+     dune exec examples/dvfs_exploration.exe -- [benchmark] *)
+
+let () =
+  let bench = if Array.length Sys.argv > 1 then Sys.argv.(1) else "libquantum" in
+  let workload = Benchmarks.find bench in
+  let profile = Profiler.profile workload ~seed:5 ~n_instructions:200_000 in
+
+  Table.section (Printf.sprintf "DVFS sweep for %s" bench);
+  let rows, best =
+    List.fold_left
+      (fun (rows, best) (freq_ghz, vdd) ->
+        let uarch = Uarch.with_dvfs Uarch.reference ~freq_ghz ~vdd in
+        (* Memory is wall-clock constant: the DRAM latency and the bus
+           occupancy rescale in core cycles with the frequency. *)
+        let scale v = max 1 (int_of_float (float_of_int v *. freq_ghz /. 2.66)) in
+        let uarch =
+          {
+            uarch with
+            memory =
+              {
+                uarch.memory with
+                dram_latency = scale Uarch.reference.memory.dram_latency;
+                bus_transfer = scale Uarch.reference.memory.bus_transfer;
+              };
+          }
+        in
+        let pred = Interval_model.predict uarch profile in
+        let breakdown = Power.estimate uarch pred.pr_activity in
+        let seconds = Power.seconds_of_cycles uarch pred.pr_cycles in
+        let energy = Power.energy_joules uarch breakdown ~cycles:pred.pr_cycles in
+        let ed2p = Power.ed2p uarch breakdown ~cycles:pred.pr_cycles in
+        let row =
+          [
+            Printf.sprintf "%.2f GHz @ %.2f V" freq_ghz vdd;
+            Table.fmt_f (Interval_model.cpi pred);
+            Table.fmt_f ~decimals:2 (1000.0 *. seconds);
+            Table.fmt_f ~decimals:1 breakdown.total_watts;
+            Table.fmt_f ~decimals:1 (1000.0 *. energy);
+            Printf.sprintf "%.3e" ed2p;
+          ]
+        in
+        let best =
+          match best with
+          | None -> Some (freq_ghz, vdd, ed2p)
+          | Some (_, _, b) when ed2p < b -> Some (freq_ghz, vdd, ed2p)
+          | some -> some
+        in
+        (row :: rows, best))
+      ([], None) Uarch.dvfs_points
+  in
+  Table.print
+    ~header:[ "operating point"; "CPI"; "time (ms)"; "power (W)"; "energy (mJ)"; "ED2P" ]
+    ~rows:(List.rev rows);
+  match best with
+  | Some (f, v, _) ->
+    Printf.printf "\nED2P-optimal operating point: %.2f GHz @ %.2f V\n" f v
+  | None -> ()

@@ -1,0 +1,74 @@
+(* Multi-core consolidation (the thesis' §8.2.1 extension): which
+   workloads can share a 2-core chip (one LLC, one memory bus) without
+   slowing each other down too much?
+
+     dune exec examples/multicore_consolidation.exe -- [max-slowdown%]
+
+   The analytical model answers from two profiles in milliseconds; the
+   lockstep multi-core simulator validates selected pairings. *)
+
+let () =
+  let budget_pct =
+    if Array.length Sys.argv > 1 then float_of_string Sys.argv.(1) else 10.0
+  in
+  let candidates = [ "gamess"; "povray"; "hmmer"; "milc"; "mcf"; "lbm" ] in
+  let n = 60_000 in
+  Printf.printf "Profiling %d candidate workloads once each...\n%!"
+    (List.length candidates);
+  let profiles =
+    List.map
+      (fun name ->
+        (name, Profiler.profile (Benchmarks.find name) ~seed:1 ~n_instructions:n))
+      candidates
+  in
+  Table.section
+    (Printf.sprintf "Pairings whose predicted mutual slowdown stays under %.0f%%"
+       budget_pct);
+  let rows = ref [] in
+  List.iteri
+    (fun i (a, pa) ->
+      List.iteri
+        (fun j (b, pb) ->
+          if i < j then begin
+            match Multicore_model.predict Uarch.reference [ (a, pa); (b, pb) ] with
+            | [ ra; rb ] ->
+              let worst = 100.0 *. (Float.max ra.mc_slowdown rb.mc_slowdown -. 1.0) in
+              rows :=
+                [
+                  a ^ " + " ^ b;
+                  Table.fmt_f ~decimals:1 (100.0 *. (ra.mc_slowdown -. 1.0));
+                  Table.fmt_f ~decimals:1 (100.0 *. (rb.mc_slowdown -. 1.0));
+                  Table.fmt_pct ra.mc_l3_share;
+                  (if worst <= budget_pct then "consolidate" else "keep separate");
+                ]
+                :: !rows
+            | _ -> ()
+          end)
+        profiles)
+    profiles;
+  Table.print
+    ~header:[ "pair"; "slowdown A (%)"; "slowdown B (%)"; "A's LLC share"; "verdict" ]
+    ~rows:(List.rev !rows);
+
+  (* Validate the most and least promising pairs with the multi-core
+     simulator. *)
+  print_endline "\nSimulator validation (lockstep shared-LLC/bus run):";
+  List.iter
+    (fun (a, b) ->
+      let shared =
+        Simulator.run_shared Uarch.reference
+          [ (Benchmarks.find a, 1); (Benchmarks.find b, 2) ]
+          ~n_instructions:n
+      in
+      let solo name seed =
+        Simulator.run Uarch.reference (Benchmarks.find name) ~seed ~n_instructions:n
+      in
+      match shared with
+      | [ ra; rb ] ->
+        Printf.printf "  %-18s measured slowdowns %.1f%% / %.1f%%\n" (a ^ " + " ^ b)
+          (100.0
+          *. ((float_of_int ra.r_cycles /. float_of_int (solo a 1).r_cycles) -. 1.0))
+          (100.0
+          *. ((float_of_int rb.r_cycles /. float_of_int (solo b 2).r_cycles) -. 1.0))
+      | _ -> ())
+    [ ("gamess", "povray"); ("milc", "lbm") ]

@@ -1,0 +1,45 @@
+(* Quickstart: the two-phase workflow of the paper in ~40 lines.
+
+     dune exec examples/quickstart.exe
+
+   1. Profile a workload ONCE (micro-architecture independent).
+   2. Predict performance and power for any design point in microseconds.
+   3. Cross-check against the cycle-level reference simulator. *)
+
+let () =
+  let workload = Benchmarks.find "gromacs" in
+  let n_instructions = 200_000 in
+
+  (* Phase 1: the one-time profiling run. *)
+  print_endline "Profiling gromacs (one-time, micro-architecture independent)...";
+  let profile = Profiler.profile workload ~seed:42 ~n_instructions in
+  Printf.printf "  %d micro-traces, %.3f micro-ops/instruction, branch entropy %.3f\n"
+    (Array.length profile.p_microtraces)
+    profile.p_uops_per_instruction profile.p_entropy;
+
+  (* Phase 2: instant predictions for any micro-architecture. *)
+  let evaluate (uarch : Uarch.t) =
+    let prediction = Interval_model.predict uarch profile in
+    let power = Power.estimate uarch prediction.pr_activity in
+    Printf.printf "  %-14s predicted CPI %.3f   power %5.1f W\n" uarch.name
+      (Interval_model.cpi prediction) power.total_watts
+  in
+  print_endline "Analytical predictions:";
+  evaluate Uarch.reference;
+  evaluate Uarch.low_power;
+  evaluate (Uarch.with_rob Uarch.reference 256);
+
+  (* Ground truth: the detailed simulator the model replaces. *)
+  print_endline "Cycle-level simulation (reference design, for comparison):";
+  let sim = Simulator.run Uarch.reference workload ~seed:42 ~n_instructions in
+  let sim_power = Power.estimate Uarch.reference sim.r_activity in
+  Printf.printf "  %-14s simulated CPI %.3f   power %5.1f W\n" Uarch.reference.name
+    (Sim_result.cpi sim) sim_power.total_watts;
+
+  let prediction = Interval_model.predict Uarch.reference profile in
+  let err =
+    Stats.relative_error
+      ~predicted:(Interval_model.cpi prediction)
+      ~reference:(Sim_result.cpi sim)
+  in
+  Printf.printf "CPI prediction error: %+.1f%%\n" (100.0 *. err)

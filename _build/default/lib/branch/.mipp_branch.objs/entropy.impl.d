@@ -1,0 +1,1 @@
+lib/branch/entropy.ml: Bool Float Hashtbl Option

@@ -1,0 +1,1 @@
+lib/branch/entropy_model.ml: Entropy Fit Float Isa List Predictor Uarch Workload_gen

@@ -1,0 +1,1 @@
+lib/branch/entropy_model.mli: Fit Uarch Workload_spec

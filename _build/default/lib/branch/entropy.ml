@@ -1,0 +1,53 @@
+type cell = { mutable taken : int; mutable total : int }
+
+type t = {
+  history_bits : int;
+  (* (static_id, history) -> outcome counts *)
+  counts : (int * int, cell) Hashtbl.t;
+  (* static_id -> current local history *)
+  histories : (int, int) Hashtbl.t;
+  mutable observed : int;
+}
+
+let create ?(history_bits = 8) () =
+  { history_bits; counts = Hashtbl.create 1024; histories = Hashtbl.create 256;
+    observed = 0 }
+
+let observe t ~static_id ~taken =
+  let mask = (1 lsl t.history_bits) - 1 in
+  let h = Option.value (Hashtbl.find_opt t.histories static_id) ~default:0 in
+  let key = (static_id, h) in
+  let cell =
+    match Hashtbl.find_opt t.counts key with
+    | Some c -> c
+    | None ->
+      let c = { taken = 0; total = 0 } in
+      Hashtbl.replace t.counts key c;
+      c
+  in
+  cell.total <- cell.total + 1;
+  if taken then cell.taken <- cell.taken + 1;
+  Hashtbl.replace t.histories static_id (((h lsl 1) lor Bool.to_int taken) land mask);
+  t.observed <- t.observed + 1
+
+let linear_entropy t =
+  if t.observed = 0 then 0.0
+  else
+    let weighted =
+      Hashtbl.fold
+        (fun _ cell acc ->
+          (* Laplace-smoothed probability: the raw ratio drives the
+             entropy of sparsely-observed patterns to 0 (a branch seen
+             once per pattern always looks perfectly predictable),
+             which destroys the linear relation to predictor miss
+             rates; add-one smoothing removes that small-sample bias. *)
+          let p =
+            (float_of_int cell.taken +. 1.0) /. (float_of_int cell.total +. 2.0)
+          in
+          let e = 2.0 *. Float.min p (1.0 -. p) in
+          acc +. (float_of_int cell.total *. e))
+        t.counts 0.0
+    in
+    weighted /. float_of_int t.observed
+
+let observed_branches t = t.observed

@@ -1,0 +1,39 @@
+type t = {
+  predictor : Uarch.branch_predictor;
+  fit : Fit.linear;
+  r2 : float;
+  training_points : (float * float) list;
+}
+
+let train predictor_cfg ~workloads ?(samples_per_workload = 4)
+    ?(instructions_per_sample = 50_000) ?(seed = 7) ?(entropy_history_bits = 4) () =
+  let points = ref [] in
+  List.iter
+    (fun (_, spec) ->
+      let gen = Workload_gen.create spec ~seed in
+      for _ = 1 to samples_per_workload do
+        let entropy = Entropy.create ~history_bits:entropy_history_bits () in
+        let predictor = Predictor.create predictor_cfg in
+        Workload_gen.iter_uops gen ~n_instructions:instructions_per_sample
+          ~f:(fun (u : Isa.uop) ->
+            if u.cls = Isa.Branch then begin
+              Entropy.observe entropy ~static_id:u.static_id ~taken:u.taken;
+              ignore
+                (Predictor.predict_and_update predictor ~static_id:u.static_id
+                   ~taken:u.taken)
+            end);
+        if Entropy.observed_branches entropy > 100 then
+          points :=
+            (Entropy.linear_entropy entropy, Predictor.miss_rate predictor) :: !points
+      done)
+    workloads;
+  let points = !points in
+  let fit = Fit.linear points in
+  { predictor = predictor_cfg; fit; r2 = Fit.r_squared fit points;
+    training_points = points }
+
+let miss_rate t ~entropy =
+  Float.max 0.0 (Float.min 0.5 (Fit.eval_linear t.fit entropy))
+
+let mpki_error t ~entropy ~actual_miss_rate ~branch_per_kilo_uops =
+  (miss_rate t ~entropy -. actual_miss_rate) *. branch_per_kilo_uops

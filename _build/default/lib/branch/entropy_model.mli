@@ -1,0 +1,38 @@
+(** Entropy-to-missrate linear model (Fig 3.8, 3.9).
+
+    The framework of De Pestel et al. maps linear branch entropy to a miss
+    rate for one concrete predictor through a linear fit trained once per
+    predictor: entropy numbers come from profiling runs, miss rates from
+    predictor simulation.  Thereafter any workload's miss rate on that
+    predictor is predicted from its profile alone — no predictor
+    simulation during design space exploration. *)
+
+type t = {
+  predictor : Uarch.branch_predictor;
+  fit : Fit.linear;
+  r2 : float;  (** fit quality over the training set *)
+  training_points : (float * float) list;  (** (entropy, missrate) pairs *)
+}
+
+val train :
+  Uarch.branch_predictor ->
+  workloads:(string * Workload_spec.t) list ->
+  ?samples_per_workload:int ->
+  ?instructions_per_sample:int ->
+  ?seed:int ->
+  ?entropy_history_bits:int ->
+  unit ->
+  t
+(** Runs every workload segment through an entropy profiler and a
+    simulated predictor, then fits entropy → missrate.  Each workload
+    contributes [samples_per_workload] training points taken from
+    consecutive stream segments (default 4 segments of 50_000
+    instructions). *)
+
+val miss_rate : t -> entropy:float -> float
+(** Apply the model; result clamped to [\[0, 0.5\]]. *)
+
+val mpki_error :
+  t -> entropy:float -> actual_miss_rate:float -> branch_per_kilo_uops:float -> float
+(** Signed MPKI (misses per kilo micro-op) delta between the model and a
+    measured miss rate — the Fig 3.10 metric. *)

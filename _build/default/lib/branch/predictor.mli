@@ -1,0 +1,22 @@
+(** Branch direction predictors (§3.5, Fig 3.10).
+
+    Five two-bit-saturating-counter predictors of roughly equal storage
+    budget: GAg (global history indexing a global table), GAp (global
+    history, per-branch tables), PAp (per-branch history, per-branch
+    tables), gshare (history xor PC) and a GAp/PAp tournament.  The
+    reference simulator uses one of these as its front-end predictor; the
+    entropy model (Fig 3.9) is trained against their simulated miss
+    rates. *)
+
+type t
+
+val create : Uarch.branch_predictor -> t
+
+val predict_and_update : t -> static_id:int -> taken:bool -> bool
+(** Predict the branch, then train with the actual outcome; returns
+    whether the prediction was correct. *)
+
+val predictions : t -> int
+val mispredictions : t -> int
+val miss_rate : t -> float
+val reset_stats : t -> unit

@@ -1,0 +1,1 @@
+lib/cache/stride_prefetcher.mli: Uarch

@@ -1,0 +1,107 @@
+type t = {
+  n_sets : int;
+  assoc : int;
+  line_shift : int;
+  tags : int array;  (* n_sets * assoc line numbers; -1 = invalid *)
+  stamps : int array;  (* LRU timestamps, parallel to [tags] *)
+  seen : (int, unit) Hashtbl.t;  (* lines ever filled: cold-miss tracking *)
+  mutable clock : int;
+  mutable n_accesses : int;
+  mutable n_misses : int;
+  mutable n_cold : int;
+}
+
+type outcome = Hit | Miss_cold | Miss_capacity
+
+let log2 n =
+  let rec go acc v = if v <= 1 then acc else go (acc + 1) (v / 2) in
+  go 0 n
+
+let create (lvl : Uarch.cache_level) =
+  let n_lines = max 1 (lvl.size_bytes / lvl.line_bytes) in
+  let assoc = max 1 (min lvl.assoc n_lines) in
+  let n_sets = max 1 (n_lines / assoc) in
+  {
+    n_sets;
+    assoc;
+    line_shift = log2 lvl.line_bytes;
+    tags = Array.make (n_sets * assoc) (-1);
+    stamps = Array.make (n_sets * assoc) 0;
+    seen = Hashtbl.create 4096;
+    clock = 0;
+    n_accesses = 0;
+    n_misses = 0;
+    n_cold = 0;
+  }
+
+let line_of t addr = addr asr t.line_shift
+
+(* Multiplicative (Fibonacci) hash: the synthetic workloads place their
+   structures in widely-spaced regions, so plain low-bit indexing would put
+   whole regions in one set.  Real cache hashing aims for the same uniform
+   spread (§4.2), which is also what StatStack's fully-associative
+   approximation assumes. *)
+let set_of t line =
+  let h = line * 0x9E3779B97F4A7C1 in
+  (h lxor (h asr 29)) land (t.n_sets - 1)
+
+let find_way t base line =
+  let rec go w = if w = t.assoc then -1
+    else if t.tags.(base + w) = line then w
+    else go (w + 1)
+  in
+  go 0
+
+let lru_way t base =
+  let best = ref 0 in
+  for w = 1 to t.assoc - 1 do
+    if t.tags.(base + w) = -1 then (if t.tags.(base + !best) <> -1 then best := w)
+    else if t.tags.(base + !best) <> -1 && t.stamps.(base + w) < t.stamps.(base + !best)
+    then best := w
+  done;
+  !best
+
+let touch t base w =
+  t.clock <- t.clock + 1;
+  t.stamps.(base + w) <- t.clock
+
+let insert t line =
+  let base = set_of t line * t.assoc in
+  (match find_way t base line with
+  | -1 ->
+    let w = lru_way t base in
+    t.tags.(base + w) <- line;
+    touch t base w
+  | w -> touch t base w);
+  if not (Hashtbl.mem t.seen line) then Hashtbl.replace t.seen line ()
+
+let access t addr =
+  let line = line_of t addr in
+  let base = set_of t line * t.assoc in
+  t.n_accesses <- t.n_accesses + 1;
+  match find_way t base line with
+  | -1 ->
+    t.n_misses <- t.n_misses + 1;
+    let cold = not (Hashtbl.mem t.seen line) in
+    if cold then t.n_cold <- t.n_cold + 1;
+    insert t line;
+    if cold then Miss_cold else Miss_capacity
+  | w ->
+    touch t base w;
+    Hit
+
+let probe t addr =
+  let line = line_of t addr in
+  let base = set_of t line * t.assoc in
+  find_way t base line <> -1
+
+let fill t addr = insert t (line_of t addr)
+
+let accesses t = t.n_accesses
+let misses t = t.n_misses
+let cold_misses t = t.n_cold
+
+let reset_stats t =
+  t.n_accesses <- 0;
+  t.n_misses <- 0;
+  t.n_cold <- 0

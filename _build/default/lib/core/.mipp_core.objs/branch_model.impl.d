@@ -1,0 +1,1 @@
+lib/core/branch_model.ml: Float Profile Uarch

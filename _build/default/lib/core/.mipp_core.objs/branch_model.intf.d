@@ -1,0 +1,1 @@
+lib/core/branch_model.mli: Profile Uarch

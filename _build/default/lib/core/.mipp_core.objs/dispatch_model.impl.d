@@ -1,0 +1,1 @@
+lib/core/dispatch_model.ml: Array Float Isa List Uarch

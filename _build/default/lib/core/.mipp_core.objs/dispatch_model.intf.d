@@ -1,0 +1,1 @@
+lib/core/dispatch_model.mli: Isa Uarch

@@ -1,0 +1,1 @@
+lib/core/interval_model.ml: Array Branch_model Dispatch_model Float Histogram Isa List Llc_chain Mlp_model Power Profile Statstack Uarch

@@ -1,0 +1,1 @@
+lib/core/interval_model.mli: Dispatch_model Power Profile Uarch

@@ -1,0 +1,1 @@
+lib/core/llc_chain.ml: Float Histogram List Option Profile Uarch

@@ -1,0 +1,1 @@
+lib/core/llc_chain.mli: Profile Uarch

@@ -1,0 +1,1 @@
+lib/core/mlp_model.ml: Array Float Hashtbl Histogram Isa Lazy List Profile Rng Statstack Stride_class Uarch

@@ -1,0 +1,1 @@
+lib/core/mlp_model.mli: Histogram Profile Uarch

@@ -1,0 +1,1 @@
+lib/core/multicore_model.ml: Float Interval_model List Uarch

@@ -1,0 +1,1 @@
+lib/core/multicore_model.mli: Interval_model Profile Uarch

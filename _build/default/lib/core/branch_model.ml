@@ -1,0 +1,50 @@
+(* Alg 3.2 ("leaky bucket"): track the ROB occupancy while dispatching the
+   Ni micro-ops of a between-mispredictions interval; the resolution time is
+   the average branch path left in the ROB when the branch dispatches,
+   executed at the average micro-op latency. *)
+
+let independent_instructions ~chains ~avg_latency rob_occupancy =
+  if rob_occupancy <= 0 then 0.0
+  else begin
+    let cp = Profile.chain_at chains ~which:`Cp (max 2 rob_occupancy) in
+    if cp <= 0.0 then float_of_int rob_occupancy
+    else float_of_int rob_occupancy /. (avg_latency *. cp)
+  end
+
+let resolution_time ~chains ~avg_latency ~dispatch_width ~rob_size
+    ~uops_between_mispredicts =
+  let d = dispatch_width in
+  let ni = ref uops_between_mispredicts in
+  let rob_i = ref 0 in
+  (* Guards: advance at least one dispatch group per iteration, and stop
+     once the occupancy reaches a fixed point — the remaining interval
+     cannot change it, so iterating further only burns time. *)
+  let steps = ref 0 in
+  let prev = ref (-1) in
+  while !ni > float_of_int d && !steps < 1_000_000 && !prev <> !rob_i do
+    incr steps;
+    prev := !rob_i;
+    if !rob_i + d <= rob_size then begin
+      ni := !ni -. float_of_int d;
+      rob_i := !rob_i + d
+    end
+    else begin
+      ni := !ni -. float_of_int (rob_size - !rob_i);
+      rob_i := rob_size
+    end;
+    let leave = Float.min (independent_instructions ~chains ~avg_latency !rob_i)
+        (float_of_int d)
+    in
+    let leave_int = int_of_float (Float.round leave) in
+    (* A full ROB with a sub-unit drain rate would never admit the rest of
+       the interval; progress at least one micro-op per cycle then. *)
+    let leave_int = if !rob_i >= rob_size && leave_int = 0 then 1 else leave_int in
+    rob_i := max 0 (!rob_i - leave_int)
+  done;
+  let abp = Profile.chain_at chains ~which:`Abp (max 2 !rob_i) in
+  avg_latency *. abp
+
+let penalty ~chains ~avg_latency ~(core : Uarch.core) ~uops_between_mispredicts =
+  resolution_time ~chains ~avg_latency ~dispatch_width:core.dispatch_width
+    ~rob_size:core.rob_size ~uops_between_mispredicts
+  +. float_of_int core.frontend_depth

@@ -1,0 +1,26 @@
+(** Branch misprediction penalty (§3.5, Alg 3.2).
+
+    The penalty of one misprediction is the branch resolution time plus
+    the fixed front-end refill time.  The resolution time comes from the
+    "leaky bucket": the interval between two mispredictions fills the ROB
+    at the dispatch width while draining at the rate of independent
+    instructions I(ROB) = ROB/(lat*CP(ROB)); when the interval's micro-ops
+    have been dispatched, the branch still has to execute its average
+    branch path at the average latency. *)
+
+val resolution_time :
+  chains:Profile.chain_stats ->
+  avg_latency:float ->
+  dispatch_width:int ->
+  rob_size:int ->
+  uops_between_mispredicts:float ->
+  float
+(** The branch resolution time c_res in cycles. *)
+
+val penalty :
+  chains:Profile.chain_stats ->
+  avg_latency:float ->
+  core:Uarch.core ->
+  uops_between_mispredicts:float ->
+  float
+(** c_res + c_fe (Eq 3.1's per-misprediction cost). *)

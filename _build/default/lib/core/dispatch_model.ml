@@ -1,0 +1,128 @@
+type limits = {
+  lim_width : float;
+  lim_dependences : float;
+  lim_ports : float;
+  lim_units : float;
+}
+
+let effective_rate l =
+  Float.max 0.05
+    (Float.min l.lim_width
+       (Float.min l.lim_dependences (Float.min l.lim_ports l.lim_units)))
+
+let limiting_factor l =
+  let r = effective_rate l in
+  if r >= l.lim_width then "width"
+  else if r >= l.lim_dependences then "dependences"
+  else if r >= l.lim_ports then "ports"
+  else "units"
+
+let average_latency (u : Uarch.t) ~mix ~load_latency =
+  let total = Isa.Class_counts.total mix in
+  if total = 0 then 1.0
+  else begin
+    let weighted =
+      List.fold_left
+        (fun acc cls ->
+          let n = float_of_int (Isa.Class_counts.get mix cls) in
+          let lat =
+            match cls with
+            | Isa.Load -> load_latency
+            | Isa.Store -> 1.0
+            | _ -> float_of_int (Uarch.functional_unit_for u.core cls).unit_latency
+          in
+          acc +. (n *. lat))
+        0.0 Isa.all_classes
+    in
+    weighted /. float_of_int total
+  end
+
+let port_schedule (u : Uarch.t) ~mix =
+  let activity = Array.make u.core.n_ports 0.0 in
+  let class_load cls = float_of_int (Isa.Class_counts.get mix cls) in
+  let fu_of cls = Uarch.functional_unit_for u.core cls in
+  let single, multi =
+    List.partition
+      (fun cls -> List.length (fu_of cls).usable_ports <= 1)
+      Isa.all_classes
+  in
+  (* Classes bound to one port generate activity there regardless of
+     scheduling. *)
+  List.iter
+    (fun cls ->
+      match (fu_of cls).usable_ports with
+      | [ p ] -> activity.(p) <- activity.(p) +. class_load cls
+      | _ -> ())
+    single;
+  (* Multi-port classes: water-fill over their usable ports, lowest
+     current activity first. *)
+  List.iter
+    (fun cls ->
+      let remaining = ref (class_load cls) in
+      let ports = (fu_of cls).usable_ports in
+      if !remaining > 0.0 && ports <> [] then begin
+        (* Water-fill: raise the lowest-activity ports together until the
+           class's activity is spent. *)
+        let n = List.length ports in
+        while !remaining > 1e-9 do
+          let ordered =
+            List.sort (fun a b -> compare activity.(a) activity.(b)) ports
+          in
+          let level = activity.(List.hd ordered) in
+          let at_min =
+            List.filter (fun p -> activity.(p) <= level +. 1e-9) ordered
+          in
+          let k = List.length at_min in
+          let next_level =
+            if k < n then activity.(List.nth ordered k) else infinity
+          in
+          let room = (next_level -. level) *. float_of_int k in
+          if !remaining <= room then begin
+            let add = !remaining /. float_of_int k in
+            List.iter (fun p -> activity.(p) <- activity.(p) +. add) at_min;
+            remaining := 0.0
+          end
+          else begin
+            List.iter (fun p -> activity.(p) <- next_level) at_min;
+            remaining := !remaining -. room
+          end
+        done
+      end)
+    multi;
+  activity
+
+let compute (u : Uarch.t) ~mix ~critical_path ~load_latency =
+  let core = u.core in
+  let n = float_of_int (Isa.Class_counts.total mix) in
+  let lim_width = float_of_int core.dispatch_width in
+  let lat = average_latency u ~mix ~load_latency in
+  let lim_dependences =
+    if critical_path <= 0.0 then lim_width
+    else float_of_int core.rob_size /. (lat *. critical_path)
+  in
+  let lim_ports =
+    if n <= 0.0 then lim_width
+    else begin
+      let activity = port_schedule u ~mix in
+      let busiest = Array.fold_left Float.max 0.0 activity in
+      if busiest <= 0.0 then lim_width else n /. busiest
+    end
+  in
+  let lim_units =
+    if n <= 0.0 then lim_width
+    else
+      List.fold_left
+        (fun acc (fu : Uarch.functional_unit) ->
+          let ni = float_of_int (Isa.Class_counts.get mix fu.serves) in
+          if ni <= 0.0 then acc
+          else
+            let u_count = float_of_int fu.unit_count in
+            let limit =
+              if fu.pipelined then n *. u_count /. ni
+              else n *. u_count /. (ni *. float_of_int fu.unit_latency)
+            in
+            Float.min acc limit)
+        infinity core.functional_units
+  in
+  let lim_units = if lim_units = infinity then lim_width else lim_units in
+  { lim_width; lim_dependences; lim_ports; lim_units }

@@ -1,0 +1,40 @@
+(** Effective dispatch rate (§3.3, §3.4, Eq 3.10).
+
+    The base component of the interval model divides micro-op count by the
+    *effective* dispatch rate: the physical width D capped by three further
+    limits — inter-instruction dependences (Little's law over the critical
+    path), issue-port contention, and functional-unit contention (with
+    non-pipelined units weighted by their latency). *)
+
+type limits = {
+  lim_width : float;  (** the physical dispatch width D *)
+  lim_dependences : float;  (** ROB / (lat * CP(ROB)), Eq 3.7 *)
+  lim_ports : float;  (** N / max port activity, greedy schedule (§3.4) *)
+  lim_units : float;  (** min over FU classes of N*U_i/N_i (/lat_j) *)
+}
+
+val effective_rate : limits -> float
+(** The minimum of the four limits. *)
+
+val limiting_factor : limits -> string
+(** Which limit binds ("width", "dependences", "ports" or "units"). *)
+
+val average_latency :
+  Uarch.t -> mix:Isa.Class_counts.t -> load_latency:float -> float
+(** Mix-weighted micro-op execution latency; loads contribute
+    [load_latency] (their short-miss-inclusive average, §3.3), stores and
+    the rest their functional-unit latency. *)
+
+val port_schedule : Uarch.t -> mix:Isa.Class_counts.t -> float array
+(** Per-port activity from the greedy schedule: single-port classes are
+    pinned first, multi-port classes are then water-filled over their
+    usable ports (§3.4).  Activity is in micro-op counts of the mix. *)
+
+val compute :
+  Uarch.t ->
+  mix:Isa.Class_counts.t ->
+  critical_path:float ->
+  load_latency:float ->
+  limits
+(** All four limits for one micro-trace.  [critical_path] is CP(ROB) for
+    this core's ROB size. *)

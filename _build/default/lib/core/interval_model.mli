@@ -1,0 +1,81 @@
+(** The micro-architecture independent interval model (Eq 3.1).
+
+    [predict] turns one application profile plus one micro-architecture
+    into cycles, a CPI stack, and the activity factors the power model
+    needs — in microseconds, which is what makes design-space exploration
+    with a single profile possible (§2.6).
+
+    Evaluation is per micro-trace by default (the TC'16 improvement:
+    contention and memory burstiness only show at small time scales,
+    §6.2.2/Fig 6.4); [`Combined] evaluates one averaged profile instead,
+    reproducing the ISPASS'15 behaviour.
+
+    The [options] record exposes every model component as a switch so the
+    ablation experiments (Fig 3.7, Fig 4.3, Fig 4.9, Table 6.2) can
+    enable them one at a time, and [overrides] lets measured
+    (simulation-provided) inputs replace the statistical models — the
+    "previously proposed interval model" baseline of §7.5. *)
+
+type components = {
+  c_base : float;  (** N / Deff cycles *)
+  c_branch : float;
+  c_icache : float;
+  c_llc_hit : float;  (** chained-LLC-hit penalty *)
+  c_dram : float;
+}
+
+val components_total : components -> float
+val components_list : components -> (string * float) list
+
+(** Measured inputs that replace the statistical models when present. *)
+type overrides = {
+  ov_branch_missrate : float option;  (** mispredictions per branch *)
+  ov_load_miss_ratios : (float * float * float) option;
+      (** per-load L1/L2/L3 miss probabilities *)
+  ov_store_miss_ratios : (float * float * float) option;
+  ov_inst_miss_ratios : (float * float * float) option;
+      (** per-instruction I-side miss probabilities *)
+  ov_mlp : float option;
+}
+
+val no_overrides : overrides
+
+type options = {
+  combine : [ `Separate | `Combined ];
+  mlp_model : [ `Cold | `Stride ];
+  branch_missrate : entropy:float -> float;
+      (** the trained entropy model (§3.5); default 0.5 * entropy, the
+          theoretical ideal-predictor limit *)
+  use_uops : bool;  (** false: count instructions, not micro-ops (§3.2) *)
+  use_critical_path : bool;  (** Little's-law dispatch limit (§3.3) *)
+  use_port_contention : bool;  (** port/FU limits (§3.4) *)
+  model_mlp : bool;  (** false: serialize DRAM accesses (Fig 4.3) *)
+  model_mshr : bool;
+  model_bus : bool;
+  model_llc_chain : bool;
+  model_prefetch : bool;  (** honoured only with the stride MLP model *)
+  overrides : overrides;
+}
+
+val default_options : options
+
+type prediction = {
+  pr_workload : string;
+  pr_uarch : string;
+  pr_cycles : float;
+  pr_instructions : float;
+  pr_uops : float;
+  pr_components : components;
+  pr_mlp : float;  (** DRAM-miss-weighted average MLP *)
+  pr_branch_mispredicts : float;
+  pr_load_misses : float * float * float;  (** L1 / L2 / L3 counts *)
+  pr_dram_loads : float;  (** after prefetch coverage *)
+  pr_limits : Dispatch_model.limits;  (** micro-op-weighted averages *)
+  pr_time_series : (int * float) array;  (** (instruction, micro-trace CPI) *)
+  pr_activity : Power.activity;
+}
+
+val cpi : prediction -> float
+val dram_wait_cpi : prediction -> float
+
+val predict : ?options:options -> Uarch.t -> Profile.t -> prediction

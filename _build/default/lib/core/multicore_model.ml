@@ -1,0 +1,104 @@
+type core_prediction = {
+  mc_workload : string;
+  mc_prediction : Interval_model.prediction;
+  mc_solo : Interval_model.prediction;
+  mc_l3_share : float;
+  mc_slowdown : float;
+}
+
+let min_share = 0.05
+
+(* Configuration seen by one core: its LLC share, and a bus slowed by the
+   other cores' traffic. *)
+let core_view (u : Uarch.t) ~share ~bus_factor =
+  let l3 = u.caches.l3 in
+  let scaled_size =
+    max (l3.line_bytes * l3.assoc) (int_of_float (float_of_int l3.size_bytes *. share))
+  in
+  {
+    u with
+    caches = { u.caches with l3 = { l3 with size_bytes = scaled_size } };
+    memory =
+      {
+        u.memory with
+        bus_transfer =
+          max u.memory.bus_transfer
+            (int_of_float (Float.round (float_of_int u.memory.bus_transfer *. bus_factor)));
+      };
+  }
+
+(* LLC access intensity: accesses reaching the LLC per cycle. *)
+let llc_intensity (p : Interval_model.prediction) =
+  if p.pr_cycles <= 0.0 then 0.0 else p.pr_activity.a_l3_accesses /. p.pr_cycles
+
+(* Bus utilization: fraction of cycles this core keeps the bus busy. *)
+let bus_utilization (u : Uarch.t) (p : Interval_model.prediction) =
+  if p.pr_cycles <= 0.0 then 0.0
+  else
+    p.pr_activity.a_dram_accesses *. float_of_int u.memory.bus_transfer
+    /. p.pr_cycles
+
+let predict ?(options = Interval_model.default_options) ?(iterations = 5)
+    (u : Uarch.t) profiles =
+  if profiles = [] then invalid_arg "Multicore_model.predict: no workloads";
+  let n = List.length profiles in
+  let solo =
+    List.map (fun (_, p) -> Interval_model.predict ~options u p) profiles
+  in
+  if n = 1 then
+    List.map2
+      (fun (name, _) pred ->
+        { mc_workload = name; mc_prediction = pred; mc_solo = pred;
+          mc_l3_share = 1.0; mc_slowdown = 1.0 })
+      profiles solo
+  else begin
+    let current = ref solo in
+    let shares = ref (List.map (fun _ -> 1.0 /. float_of_int n) profiles) in
+    for _ = 1 to iterations do
+      (* Partition the LLC proportionally to each core's access
+         intensity; a floor keeps light cores from starving entirely. *)
+      let intensities = List.map llc_intensity !current in
+      let total_intensity = List.fold_left ( +. ) 0.0 intensities in
+      shares :=
+        List.map
+          (fun i ->
+            if total_intensity <= 0.0 then 1.0 /. float_of_int n
+            else Float.max min_share (i /. total_intensity))
+          intensities;
+      let norm = List.fold_left ( +. ) 0.0 !shares in
+      shares := List.map (fun s -> s /. norm) !shares;
+      (* Every core's bus requests queue behind the other cores'
+         transfers: inflate the effective transfer time by the M/M/1
+         factor 1/(1-u_others), capped. *)
+      let utilizations = List.map (bus_utilization u) !current in
+      let total_util = List.fold_left ( +. ) 0.0 utilizations in
+      current :=
+        List.map2
+          (fun (_, profile) (share, own_util) ->
+            let others = Float.max 0.0 (Float.min 0.8 (total_util -. own_util)) in
+            let bus_factor = 1.0 /. (1.0 -. others) in
+            Interval_model.predict ~options (core_view u ~share ~bus_factor)
+              profile)
+          profiles
+          (List.combine !shares utilizations)
+    done;
+    let rec zip3 a b c =
+      match (a, b, c) with
+      | (name, _) :: a', pred :: b', (share, solo_pred) :: c' ->
+        {
+          mc_workload = name;
+          mc_prediction = pred;
+          mc_solo = solo_pred;
+          mc_l3_share = share;
+          mc_slowdown =
+            (if solo_pred.Interval_model.pr_cycles <= 0.0 then 1.0
+             else
+               Float.max 1.0
+                 (pred.Interval_model.pr_cycles /. solo_pred.pr_cycles));
+        }
+        :: zip3 a' b' c'
+      | [], [], [] -> []
+      | _ -> invalid_arg "Multicore_model: length mismatch"
+    in
+    zip3 profiles !current (List.combine !shares solo)
+  end

@@ -1,0 +1,40 @@
+(** Multi-core extension of the analytical model (thesis §8.2.1).
+
+    The thesis leaves multi-core processors as future work and sketches
+    the approach: model the shared LLC with a cache-partitioning scheme
+    and the shared memory bandwidth with a queuing model.  This module
+    implements that sketch on top of {!Interval_model}:
+
+    - each core's profile is evaluated with an LLC *share* proportional
+      to its LLC access intensity (accesses per cycle), iterated to a
+      fixed point since intensity itself depends on the share;
+    - the shared memory bus inflates every core's effective transfer
+      time by an M/M/1-style factor driven by the *other* cores' bus
+      utilization.
+
+    Validated against {!Simulator.run_shared}, the lockstep multi-core
+    reference simulator. *)
+
+type core_prediction = {
+  mc_workload : string;
+  mc_prediction : Interval_model.prediction;
+      (** the shared-mode prediction (cycles, CPI stack, activity) *)
+  mc_solo : Interval_model.prediction;  (** same core running alone *)
+  mc_l3_share : float;  (** fraction of the LLC modeled as this core's *)
+  mc_slowdown : float;  (** shared cycles / solo cycles, >= ~1 *)
+}
+
+val predict :
+  ?options:Interval_model.options ->
+  ?iterations:int ->
+  Uarch.t ->
+  (string * Profile.t) list ->
+  core_prediction list
+(** [predict uarch profiles] models the co-execution of one workload per
+    core on a chip with private L1/L2 per core and one shared LLC and
+    memory bus (the {!Simulator.run_shared} configuration).  Default 5
+    fixed-point iterations.  Raises [Invalid_argument] on an empty
+    list. *)
+
+val min_share : float
+(** Lower bound on any core's modeled LLC share. *)

@@ -1,0 +1,1 @@
+lib/dse/empirical.ml: Fit Float List Uarch

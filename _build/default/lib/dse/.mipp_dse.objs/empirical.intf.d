@@ -1,0 +1,1 @@
+lib/dse/empirical.mli: Uarch

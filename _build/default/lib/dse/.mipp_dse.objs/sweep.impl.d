@@ -1,0 +1,1 @@
+lib/dse/sweep.ml: Interval_model List Pareto Power Sim_result Simulator Uarch

@@ -1,0 +1,1 @@
+lib/dse/sweep.mli: Interval_model Pareto Profile Sim_result Uarch Workload_spec

@@ -1,0 +1,29 @@
+type t = { cpi_weights : float array; watt_weights : float array }
+
+let log2f x = log (Float.max 1.0 x) /. log 2.0
+
+let features (u : Uarch.t) =
+  [|
+    float_of_int u.core.dispatch_width;
+    log2f (float_of_int u.core.rob_size);
+    log2f (float_of_int u.caches.l1d.size_bytes);
+    log2f (float_of_int u.caches.l2.size_bytes);
+    log2f (float_of_int u.caches.l3.size_bytes);
+    u.operating_point.freq_ghz;
+    u.operating_point.vdd;
+  |]
+
+let train rows =
+  if List.length rows < 9 then
+    invalid_arg "Empirical.train: need at least 9 training rows";
+  let cpi_rows = List.map (fun (u, cpi, _) -> (features u, cpi)) rows in
+  let watt_rows = List.map (fun (u, _, w) -> (features u, w)) rows in
+  {
+    cpi_weights = Fit.multiple_linear cpi_rows;
+    watt_weights = Fit.multiple_linear watt_rows;
+  }
+
+let predict t u =
+  let f = features u in
+  ( Float.max 0.01 (Fit.eval_multiple t.cpi_weights f),
+    Float.max 0.01 (Fit.eval_multiple t.watt_weights f) )

@@ -1,0 +1,20 @@
+(** Empirical (black-box regression) baseline model (§7.5).
+
+    The paper contrasts the mechanistic model with an empirical model
+    trained on simulation results: accurate on average, but poor at
+    predicting trends and Pareto structure because it interpolates
+    blindly between training points.  We use ordinary least squares on
+    log-transformed structure sizes — the standard linear-regression
+    setup of Lee et al. / Ipek et al. at small scale. *)
+
+type t
+
+val features : Uarch.t -> float array
+(** Design-point features: dispatch width, log2 ROB, log2 cache sizes,
+    frequency, Vdd. *)
+
+val train : (Uarch.t * float * float) list -> t
+(** [(config, measured cpi, measured watts)] training rows. *)
+
+val predict : t -> Uarch.t -> float * float
+(** Predicted (cpi, watts), clamped to be positive. *)

@@ -1,0 +1,88 @@
+type point = { pt_id : int; pt_delay : float; pt_power : float }
+
+let dominates a b =
+  a.pt_delay <= b.pt_delay && a.pt_power <= b.pt_power
+  && (a.pt_delay < b.pt_delay || a.pt_power < b.pt_power)
+
+let frontier points =
+  (* Sweep by increasing delay (ties: increasing power); a point is on the
+     frontier iff its power undercuts everything seen before. *)
+  let sorted =
+    List.sort
+      (fun a b ->
+        if a.pt_delay <> b.pt_delay then compare a.pt_delay b.pt_delay
+        else compare a.pt_power b.pt_power)
+      points
+  in
+  let rec sweep best_power acc = function
+    | [] -> List.rev acc
+    | p :: rest ->
+      if p.pt_power < best_power then sweep p.pt_power (p :: acc) rest
+      else sweep best_power acc rest
+  in
+  sweep infinity [] sorted
+
+let hypervolume ~reference points =
+  let dmax, pmax = reference in
+  let front = frontier points in
+  (* Integrate the staircase: frontier sorted by increasing delay has
+     decreasing power. *)
+  let rec go acc = function
+    | [] -> acc
+    | p :: rest ->
+      let next_delay =
+        match rest with next :: _ -> Float.min next.pt_delay dmax | [] -> dmax
+      in
+      let width = Float.max 0.0 (next_delay -. Float.min p.pt_delay dmax) in
+      let height = Float.max 0.0 (pmax -. p.pt_power) in
+      go (acc +. (width *. height)) rest
+  in
+  go 0.0 front
+
+type quality = {
+  sensitivity : float;
+  specificity : float;
+  accuracy : float;
+  hvr : float;
+}
+
+let ids points = List.map (fun p -> p.pt_id) points |> List.sort_uniq compare
+
+let quality ~truth ~predicted =
+  if List.length truth <> List.length predicted then
+    invalid_arg "Pareto.quality: point sets differ in size";
+  let truth_front = ids (frontier truth) in
+  let pred_front = ids (frontier predicted) in
+  let all = ids truth in
+  let mem x set = List.mem x set in
+  let tp = List.length (List.filter (fun i -> mem i pred_front) truth_front) in
+  let fn = List.length truth_front - tp in
+  let fp = List.length (List.filter (fun i -> not (mem i truth_front)) pred_front) in
+  let tn = List.length all - tp - fn - fp in
+  let ratio a b = if a + b = 0 then 1.0 else float_of_int a /. float_of_int (a + b) in
+  (* HVR: evaluate the predicted picks at their TRUE coordinates. *)
+  (* Reference corner strictly beyond the worst observed point, so
+     frontier members on the boundary still contribute volume. *)
+  let dmax =
+    1.05 *. List.fold_left (fun m p -> Float.max m p.pt_delay) 0.0 truth
+  in
+  let pmax =
+    1.05 *. List.fold_left (fun m p -> Float.max m p.pt_power) 0.0 truth
+  in
+  let reference = (dmax, pmax) in
+  let truth_by_id = List.map (fun p -> (p.pt_id, p)) truth in
+  let picks_true_coords =
+    List.filter_map
+      (fun i -> List.assoc_opt i truth_by_id)
+      pred_front
+  in
+  let hv_true = hypervolume ~reference truth in
+  let hv_picks = hypervolume ~reference picks_true_coords in
+  {
+    sensitivity = ratio tp fn;
+    specificity = ratio tn fp;
+    accuracy =
+      (if all = [] then 1.0
+       else float_of_int (tp + tn) /. float_of_int (List.length all));
+    hvr = (if hv_true <= 0.0 then 1.0 else Float.min 1.0 (hv_picks /. hv_true));
+  }

@@ -1,0 +1,39 @@
+(** Pareto analysis for performance/power trade-offs (§7.4).
+
+    A design point is described by (delay, power) — both to be minimized.
+    [frontier] extracts the non-dominated subset; the pruning-quality
+    metrics compare the frontier predicted by the model with the true
+    (simulated) frontier: sensitivity (true fronts found), specificity
+    (non-fronts excluded), accuracy, and the hyper-volume ratio HVR
+    (how much of the true frontier's dominated volume the predicted picks
+    recover, evaluated at their *true* coordinates — Fig 7.8). *)
+
+type point = {
+  pt_id : int;  (** design-point index, shared between model and truth *)
+  pt_delay : float;  (** execution time (or CPI), smaller is better *)
+  pt_power : float;  (** watts, smaller is better *)
+}
+
+val dominates : point -> point -> bool
+(** [dominates a b]: [a] is no worse in both dimensions and strictly
+    better in at least one. *)
+
+val frontier : point list -> point list
+(** Non-dominated points, sorted by increasing delay.  O(n log n). *)
+
+type quality = {
+  sensitivity : float;  (** TP / (TP + FN) over frontier membership *)
+  specificity : float;  (** TN / (TN + FP) *)
+  accuracy : float;  (** (TP + TN) / all *)
+  hvr : float;  (** hyper-volume ratio in [0, 1] *)
+}
+
+val quality : truth:point list -> predicted:point list -> quality
+(** [truth] and [predicted] must describe the same design points (same
+    ids); predicted frontier membership is computed on predicted
+    coordinates, then judged against true frontier membership, and HVR is
+    computed with true coordinates of the predicted picks. *)
+
+val hypervolume : reference:float * float -> point list -> float
+(** Area dominated by the frontier of the given points w.r.t. a
+    reference corner (delay_max, power_max). *)

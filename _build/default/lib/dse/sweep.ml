@@ -1,0 +1,61 @@
+type eval = {
+  sw_index : int;
+  sw_config : Uarch.t;
+  sw_cpi : float;
+  sw_cycles : float;
+  sw_watts : float;
+  sw_seconds : float;
+  sw_energy_j : float;
+  sw_ed2p : float;
+}
+
+let make config ~index ~cycles ~instructions ~activity =
+  let breakdown = Power.estimate config activity in
+  let seconds = Power.seconds_of_cycles config cycles in
+  let energy = Power.energy_joules config breakdown ~cycles in
+  {
+    sw_index = index;
+    sw_config = config;
+    sw_cpi = (if instructions = 0.0 then 0.0 else cycles /. instructions);
+    sw_cycles = cycles;
+    sw_watts = breakdown.total_watts;
+    sw_seconds = seconds;
+    sw_energy_j = energy;
+    sw_ed2p = Power.ed2p config breakdown ~cycles;
+  }
+
+let of_prediction config ~index (p : Interval_model.prediction) =
+  make config ~index ~cycles:p.pr_cycles ~instructions:p.pr_instructions
+    ~activity:p.pr_activity
+
+let of_sim config ~index (r : Sim_result.t) =
+  make config ~index ~cycles:(float_of_int r.r_cycles)
+    ~instructions:(float_of_int r.r_instructions) ~activity:r.r_activity
+
+let model_sweep ?(options = Interval_model.default_options) ~profile configs =
+  List.mapi
+    (fun index config ->
+      of_prediction config ~index (Interval_model.predict ~options config profile))
+    configs
+
+let sim_sweep ~spec ~seed ~n_instructions configs =
+  List.mapi
+    (fun index config ->
+      of_sim config ~index (Simulator.run config spec ~seed ~n_instructions))
+    configs
+
+let pareto_points evals =
+  List.map
+    (fun e ->
+      { Pareto.pt_id = e.sw_index; pt_delay = e.sw_seconds; pt_power = e.sw_watts })
+    evals
+
+let best_under_power evals ~budget_watts =
+  List.fold_left
+    (fun best e ->
+      if e.sw_watts > budget_watts then best
+      else
+        match best with
+        | None -> Some e
+        | Some b -> if e.sw_seconds < b.sw_seconds then Some e else best)
+    None evals

@@ -1,0 +1,36 @@
+(** Design-space sweeps (§6.2.4, §7).
+
+    The whole point of the micro-architecture independent model: profile
+    once, then evaluate every design point analytically.  [model_sweep]
+    does exactly that; [sim_sweep] is the detailed-simulation
+    counterpart used as ground truth (and for the speedup comparison). *)
+
+type eval = {
+  sw_index : int;  (** position in the config list: the design-point id *)
+  sw_config : Uarch.t;
+  sw_cpi : float;
+  sw_cycles : float;
+  sw_watts : float;
+  sw_seconds : float;
+  sw_energy_j : float;
+  sw_ed2p : float;
+}
+
+val of_prediction : Uarch.t -> index:int -> Interval_model.prediction -> eval
+val of_sim : Uarch.t -> index:int -> Sim_result.t -> eval
+
+val model_sweep :
+  ?options:Interval_model.options -> profile:Profile.t -> Uarch.t list -> eval list
+
+val sim_sweep :
+  spec:Workload_spec.t ->
+  seed:int ->
+  n_instructions:int ->
+  Uarch.t list ->
+  eval list
+
+val pareto_points : eval list -> Pareto.point list
+(** (delay = seconds, power = watts) points for Pareto analysis. *)
+
+val best_under_power : eval list -> budget_watts:float -> eval option
+(** Fastest design that fits the power budget (Table 7.1). *)

@@ -1,0 +1,164 @@
+type activity = {
+  a_cycles : float;
+  a_uops : float;
+  a_uops_by_class : float array;
+  a_l1i_accesses : float;
+  a_l1d_accesses : float;
+  a_l2_accesses : float;
+  a_l3_accesses : float;
+  a_dram_accesses : float;
+  a_branch_lookups : float;
+}
+
+let zero_activity =
+  {
+    a_cycles = 0.0;
+    a_uops = 0.0;
+    a_uops_by_class = Array.make Isa.n_classes 0.0;
+    a_l1i_accesses = 0.0;
+    a_l1d_accesses = 0.0;
+    a_l2_accesses = 0.0;
+    a_l3_accesses = 0.0;
+    a_dram_accesses = 0.0;
+    a_branch_lookups = 0.0;
+  }
+
+type component =
+  | P_static
+  | P_core_dynamic
+  | P_functional_units
+  | P_branch_predictor
+  | P_caches
+  | P_dram
+
+let component_to_string = function
+  | P_static -> "static"
+  | P_core_dynamic -> "core"
+  | P_functional_units -> "functional units"
+  | P_branch_predictor -> "branch predictor"
+  | P_caches -> "caches"
+  | P_dram -> "DRAM"
+
+let all_components =
+  [ P_static; P_core_dynamic; P_functional_units; P_branch_predictor; P_caches; P_dram ]
+
+type breakdown = {
+  components : (component * float) list;
+  total_watts : float;
+  static_watts : float;
+  dynamic_watts : float;
+}
+
+(* Reference operating point the constants are calibrated at. *)
+let vdd_ref = 0.9
+
+let seconds_of_cycles (u : Uarch.t) cycles =
+  cycles /. (u.operating_point.freq_ghz *. 1e9)
+
+(* ---- Static power (Eq 2.1): leakage scales with structure size and,
+   through the leakage current, super-linearly with Vdd. ---- *)
+
+let static_watts (u : Uarch.t) =
+  let kb bytes = float_of_int bytes /. 1024.0 in
+  let cache_kb =
+    kb u.caches.l1i.size_bytes +. kb u.caches.l1d.size_bytes
+    +. kb u.caches.l2.size_bytes +. kb u.caches.l3.size_bytes
+  in
+  let core_units =
+    float_of_int (u.core.rob_size * u.core.dispatch_width)
+    +. float_of_int u.core.issue_queue_size
+  in
+  let fu_units =
+    List.fold_left (fun acc (fu : Uarch.functional_unit) -> acc + fu.unit_count) 0
+      u.core.functional_units
+    |> float_of_int
+  in
+  let predictor_kb = float_of_int (1 lsl u.predictor.table_bits) /. 1024.0 in
+  let at_ref =
+    (0.0005 *. cache_kb)  (* ~0.5 mW per KB of SRAM *)
+    +. (0.003 *. core_units)
+    +. (0.12 *. fu_units)
+    +. (0.02 *. predictor_kb)
+    +. 0.5  (* clock tree, misc *)
+  in
+  let v = u.operating_point.vdd /. vdd_ref in
+  at_ref *. v *. v
+
+(* ---- Dynamic energy per access, in nanojoules at vdd_ref. ---- *)
+
+let nj = 1e-9
+
+let uop_energy_nj (u : Uarch.t) =
+  (* Decode + rename + ROB + IQ + register file + bypass per micro-op;
+     wider and deeper machines pay more per micro-op. *)
+  let scale =
+    0.7
+    +. 0.3
+       *. float_of_int (u.core.dispatch_width * u.core.rob_size)
+       /. float_of_int (4 * 128)
+  in
+  1.20 *. scale
+
+let fu_energy_nj (cls : Isa.uop_class) =
+  match cls with
+  | Int_alu | Move -> 0.30
+  | Int_mul -> 1.00
+  | Int_div -> 3.50
+  | Fp_alu -> 1.50
+  | Fp_mul -> 2.40
+  | Fp_div -> 6.00
+  | Load | Store -> 0.35  (* address generation *)
+  | Branch -> 0.25
+
+let cache_energy_nj (lvl : Uarch.cache_level) ~base ~ref_kb =
+  base *. sqrt (float_of_int lvl.size_bytes /. 1024.0 /. ref_kb)
+
+let estimate (u : Uarch.t) (a : activity) =
+  let freq_hz = u.operating_point.freq_ghz *. 1e9 in
+  let v = u.operating_point.vdd /. vdd_ref in
+  let v2 = v *. v in
+  let seconds = if a.a_cycles > 0.0 then a.a_cycles /. freq_hz else 1.0 in
+  let dyn energy_nj count = count *. energy_nj *. nj *. v2 /. seconds in
+  let core_dyn = dyn (uop_energy_nj u) a.a_uops in
+  let fu_dyn =
+    List.fold_left
+      (fun acc cls ->
+        acc +. dyn (fu_energy_nj cls) a.a_uops_by_class.(Isa.class_index cls))
+      0.0 Isa.all_classes
+  in
+  let predictor_dyn =
+    dyn (0.15 *. sqrt (float_of_int (1 lsl u.predictor.table_bits) /. 4096.0))
+      a.a_branch_lookups
+  in
+  let cache_dyn =
+    dyn (cache_energy_nj u.caches.l1i ~base:0.60 ~ref_kb:32.0) a.a_l1i_accesses
+    +. dyn (cache_energy_nj u.caches.l1d ~base:0.60 ~ref_kb:32.0) a.a_l1d_accesses
+    +. dyn (cache_energy_nj u.caches.l2 ~base:1.50 ~ref_kb:256.0) a.a_l2_accesses
+    +. dyn (cache_energy_nj u.caches.l3 ~base:6.00 ~ref_kb:8192.0) a.a_l3_accesses
+  in
+  let dram_dyn = dyn 25.0 a.a_dram_accesses in
+  let static = static_watts u in
+  let components =
+    [
+      (P_static, static);
+      (P_core_dynamic, core_dyn);
+      (P_functional_units, fu_dyn);
+      (P_branch_predictor, predictor_dyn);
+      (P_caches, cache_dyn);
+      (P_dram, dram_dyn);
+    ]
+  in
+  let dynamic = core_dyn +. fu_dyn +. predictor_dyn +. cache_dyn +. dram_dyn in
+  {
+    components;
+    total_watts = static +. dynamic;
+    static_watts = static;
+    dynamic_watts = dynamic;
+  }
+
+let energy_joules u breakdown ~cycles =
+  breakdown.total_watts *. seconds_of_cycles u cycles
+
+let ed2p u breakdown ~cycles =
+  let t = seconds_of_cycles u cycles in
+  energy_joules u breakdown ~cycles *. t *. t

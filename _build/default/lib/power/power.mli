@@ -1,0 +1,57 @@
+(** McPAT-style analytical power model (§3.6, §4.10, §2.4).
+
+    Power splits into static leakage — proportional to structure size and
+    supply voltage (Eq 2.1) — and dynamic switching power — per-access
+    energy scaled by activity factor, Vdd², and frequency (Eq 2.2).  The
+    per-structure constants are calibrated for a 45 nm-class process the
+    way McPAT's defaults are: they make the reference core land in a
+    realistic 10–40 W band with a ~40% static share; absolute watts are
+    uncalibrated but relative trends across the design space (what the
+    DSE experiments exercise) follow structure sizes and activity. *)
+
+(** Per-structure access counts for one run, produced either by the
+    cycle-level simulator (measured) or by the analytical model
+    (predicted, Eq 3.16). *)
+type activity = {
+  a_cycles : float;  (** execution time in cycles *)
+  a_uops : float;  (** micro-ops dispatched (ROB/RF/IQ activity) *)
+  a_uops_by_class : float array;  (** indexed by [Isa.class_index] *)
+  a_l1i_accesses : float;
+  a_l1d_accesses : float;
+  a_l2_accesses : float;
+  a_l3_accesses : float;
+  a_dram_accesses : float;
+  a_branch_lookups : float;
+}
+
+val zero_activity : activity
+
+(** One stacked-power component (Fig 6.7). *)
+type component =
+  | P_static
+  | P_core_dynamic  (** ROB, issue queue, register file, bypass, decode *)
+  | P_functional_units
+  | P_branch_predictor
+  | P_caches
+  | P_dram
+
+val component_to_string : component -> string
+val all_components : component list
+
+type breakdown = {
+  components : (component * float) list;  (** watts per component *)
+  total_watts : float;
+  static_watts : float;
+  dynamic_watts : float;
+}
+
+val estimate : Uarch.t -> activity -> breakdown
+(** Average power over the run described by [activity]. *)
+
+val energy_joules : Uarch.t -> breakdown -> cycles:float -> float
+(** [P * t] with [t = cycles / f]. *)
+
+val seconds_of_cycles : Uarch.t -> float -> float
+
+val ed2p : Uarch.t -> breakdown -> cycles:float -> float
+(** Energy-delay-squared product (§7.3), in J.s². *)

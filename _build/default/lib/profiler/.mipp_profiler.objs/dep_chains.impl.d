@@ -1,0 +1,1 @@
+lib/profiler/dep_chains.ml: Array Histogram Isa Profile

@@ -1,0 +1,1 @@
+lib/profiler/dep_chains.mli: Histogram Isa Profile

@@ -1,0 +1,1 @@
+lib/profiler/profile.ml: Array Fit Float Histogram Isa Lazy List Statstack

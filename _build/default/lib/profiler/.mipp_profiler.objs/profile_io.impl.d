@@ -1,0 +1,1 @@
+lib/profiler/profile_io.ml: Array Buffer Fun Histogram Isa List Printf Profile Statstack String

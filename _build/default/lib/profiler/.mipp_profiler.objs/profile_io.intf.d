@@ -1,0 +1,1 @@
+lib/profiler/profile_io.mli: Profile

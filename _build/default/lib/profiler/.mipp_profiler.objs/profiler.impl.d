@@ -1,0 +1,1 @@
+lib/profiler/profiler.ml: Array Dep_chains Entropy Hashtbl Histogram Isa List Profile Statstack Workload_gen Workload_spec

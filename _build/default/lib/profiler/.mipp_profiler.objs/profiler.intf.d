@@ -1,0 +1,1 @@
+lib/profiler/profiler.mli: Isa Profile Workload_spec

@@ -1,0 +1,1 @@
+lib/profiler/stride_class.ml: Array Hashtbl Histogram List Printf Profile

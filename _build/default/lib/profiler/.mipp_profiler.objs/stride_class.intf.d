@@ -1,0 +1,1 @@
+lib/profiler/stride_class.mli: Profile

@@ -1,0 +1,22 @@
+(** Dependence-chain analysis over a micro-trace (Alg 3.1).
+
+    For each profiled ROB size the micro-trace is cut into stepped
+    ROB-sized windows; within a window every micro-op's chain depth is the
+    length of the longest chain of producers leading to it (itself
+    included, producers outside the window ignored).  AP averages the
+    depth over all micro-ops, ABP over branch micro-ops only, CP takes the
+    window maximum; all are then averaged across windows. *)
+
+val default_rob_sizes : int array
+(** 16, 32, ..., 256. *)
+
+val analyze : ?rob_sizes:int array -> Isa.uop array -> Profile.chain_stats
+
+val load_depth_distribution : window:int -> Isa.uop array -> Histogram.t
+(** f(l): for every load micro-op, the number of loads on the dependence
+    path leading to it (itself included), within stepped [window]-sized
+    windows (Fig 4.5). *)
+
+val window_depths : Isa.uop array -> lo:int -> hi:int -> int array
+(** Chain depths of the micro-ops of one window [lo, hi) — exposed for
+    tests and for the Fig 3.3 worked example. *)

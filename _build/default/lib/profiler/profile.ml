@@ -1,0 +1,148 @@
+type chain_stats = {
+  rob_sizes : int array;
+  ap : float array;
+  abp : float array;
+  cp : float array;
+  abp_windows : int array;
+}
+
+let chain_array cs ~which =
+  match which with `Ap -> cs.ap | `Abp -> cs.abp | `Cp -> cs.cp
+
+let chain_at cs ~which rob =
+  if rob <= 0 then invalid_arg "Profile.chain_at: rob must be positive";
+  let values = chain_array cs ~which in
+  let sizes = cs.rob_sizes in
+  let n = Array.length sizes in
+  if n = 0 then 0.0
+  else if n = 1 then values.(0)
+  else begin
+    (* Piecewise log interpolation between adjacent profiled sizes (§5.2);
+       clamp to the end segments outside the profiled range. *)
+    let rec find i = if i >= n - 2 || sizes.(i + 1) >= rob then i else find (i + 1) in
+    let i = if rob <= sizes.(0) then 0 else find 0 in
+    Fit.interpolate_log
+      (float_of_int sizes.(i), values.(i))
+      (float_of_int sizes.(i + 1), values.(i + 1))
+      (float_of_int rob)
+  end
+
+type cold_stats = {
+  cold_rob_sizes : int array;
+  cold_windows : int array;
+  cold_windows_hit : int array;
+  cold_total : int array;
+}
+
+type static_load = {
+  sl_static_id : int;
+  sl_first_pos : int;
+  sl_count : int;
+  sl_spacing : Histogram.t;
+  sl_strides : Histogram.t;
+  sl_reuse : Histogram.t;
+  sl_cold : int;
+  sl_stack : Statstack.t Lazy.t;
+}
+
+type microtrace = {
+  mt_index : int;
+  mt_start_instruction : int;
+  mt_instructions : int;
+  mt_uops : int;
+  mt_mix : Isa.Class_counts.t;
+  mt_chains : chain_stats;
+  mt_load_depth : Histogram.t;
+  mt_reuse_load : Histogram.t;
+  mt_reuse_store : Histogram.t;
+  mt_mem_samples : int;
+  mt_mem_cold : int;
+  mt_store_cold : int;
+  mt_cold : cold_stats;
+  mt_static_loads : static_load list;
+  mt_branches : int;
+}
+
+type t = {
+  p_workload : string;
+  p_window_instructions : int;
+  p_microtrace_instructions : int;
+  p_total_instructions : int;
+  p_line_bytes : int;
+  p_microtraces : microtrace array;
+  p_entropy : float;
+  p_branch_fraction : float;
+  p_uops_per_instruction : float;
+  p_reuse_inst : Histogram.t;
+  p_inst_cold_fraction : float;
+  p_inst_samples : int;
+  p_data_accesses : int;
+  p_data_cold : int;
+}
+
+let total_mix t =
+  Array.fold_left
+    (fun acc mt -> Isa.Class_counts.merge acc mt.mt_mix)
+    (Isa.Class_counts.create ())
+    t.p_microtraces
+
+let mean_chain t ~which ~rob =
+  let sum = ref 0.0 and weight = ref 0 in
+  Array.iter
+    (fun mt ->
+      sum := !sum +. (float_of_int mt.mt_uops *. chain_at mt.mt_chains ~which rob);
+      weight := !weight + mt.mt_uops)
+    t.p_microtraces;
+  if !weight = 0 then 0.0 else !sum /. float_of_int !weight
+
+let combine select_hist select_cold t =
+  let hist = Histogram.create () in
+  let cold = ref 0 and samples = ref 0 in
+  Array.iter
+    (fun mt ->
+      List.iter
+        (fun h -> Histogram.iter h (fun k c -> Histogram.add hist ~count:c k))
+        (select_hist mt);
+      let c, s = select_cold mt in
+      cold := !cold + c;
+      samples := !samples + s)
+    t.p_microtraces;
+  let cold_fraction =
+    if !samples = 0 then 0.0 else float_of_int !cold /. float_of_int !samples
+  in
+  (hist, cold_fraction)
+
+let combined_reuse_load =
+  combine
+    (fun mt -> [ mt.mt_reuse_load ])
+    (fun mt ->
+      (* Load-side cold touches approximated by total cold minus store cold. *)
+      (max 0 (mt.mt_mem_cold - mt.mt_store_cold),
+       Histogram.total mt.mt_reuse_load + max 0 (mt.mt_mem_cold - mt.mt_store_cold)))
+
+let combined_reuse_store =
+  combine
+    (fun mt -> [ mt.mt_reuse_store ])
+    (fun mt -> (mt.mt_store_cold, Histogram.total mt.mt_reuse_store + mt.mt_store_cold))
+
+let combined_reuse_all =
+  combine
+    (fun mt -> [ mt.mt_reuse_load; mt.mt_reuse_store ])
+    (fun mt -> (mt.mt_mem_cold, mt.mt_mem_samples))
+
+let cold_miss_rate t =
+  let cold = ref 0 and samples = ref 0 in
+  Array.iter
+    (fun mt ->
+      cold := !cold + mt.mt_mem_cold;
+      samples := !samples + mt.mt_mem_samples)
+    t.p_microtraces;
+  if !samples = 0 then 0.0 else float_of_int !cold /. float_of_int !samples
+
+let cold_correction t =
+  let sampled = cold_miss_rate t in
+  if sampled <= 0.0 || t.p_data_accesses = 0 then 1.0
+  else begin
+    let exact = float_of_int t.p_data_cold /. float_of_int t.p_data_accesses in
+    Float.min 2.0 (exact /. sampled)
+  end

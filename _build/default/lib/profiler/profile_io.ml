@@ -1,0 +1,267 @@
+let format_version = 1
+
+(* Line-oriented, self-describing text format.  Floats are written as hex
+   float literals so save/load round-trips exactly. *)
+
+let bprintf = Printf.bprintf
+
+let write_hist buf name h =
+  bprintf buf "hist %s %d" name (Histogram.distinct h);
+  Histogram.iter h (fun k c -> bprintf buf " %d:%d" k c);
+  bprintf buf "\n"
+
+let write_float_array buf name a =
+  bprintf buf "%s %d" name (Array.length a);
+  Array.iter (fun v -> bprintf buf " %h" v) a;
+  bprintf buf "\n"
+
+let write_int_array buf name a =
+  bprintf buf "%s %d" name (Array.length a);
+  Array.iter (fun v -> bprintf buf " %d" v) a;
+  bprintf buf "\n"
+
+let to_string (p : Profile.t) =
+  let buf = Buffer.create 65536 in
+  bprintf buf "mipp-profile %d\n" format_version;
+  bprintf buf "workload %s\n" p.p_workload;
+  bprintf buf "params %d %d %d %d\n" p.p_window_instructions
+    p.p_microtrace_instructions p.p_total_instructions p.p_line_bytes;
+  bprintf buf "scalars %h %h %h %h\n" p.p_entropy p.p_branch_fraction
+    p.p_uops_per_instruction p.p_inst_cold_fraction;
+  bprintf buf "counters %d %d %d\n" p.p_inst_samples p.p_data_accesses p.p_data_cold;
+  write_hist buf "reuse_inst" p.p_reuse_inst;
+  bprintf buf "microtraces %d\n" (Array.length p.p_microtraces);
+  Array.iter
+    (fun (mt : Profile.microtrace) ->
+      bprintf buf "mt %d %d %d %d %d %d %d %d\n" mt.mt_index
+        mt.mt_start_instruction mt.mt_instructions mt.mt_uops mt.mt_branches
+        mt.mt_mem_samples mt.mt_mem_cold mt.mt_store_cold;
+      write_int_array buf "mix"
+        (Array.of_list (List.map snd (Isa.Class_counts.to_list mt.mt_mix)));
+      write_int_array buf "rob_sizes" mt.mt_chains.rob_sizes;
+      write_float_array buf "ap" mt.mt_chains.ap;
+      write_float_array buf "abp" mt.mt_chains.abp;
+      write_float_array buf "cp" mt.mt_chains.cp;
+      write_int_array buf "abp_windows" mt.mt_chains.abp_windows;
+      write_hist buf "load_depth" mt.mt_load_depth;
+      write_hist buf "reuse_load" mt.mt_reuse_load;
+      write_hist buf "reuse_store" mt.mt_reuse_store;
+      write_int_array buf "cold_rob_sizes" mt.mt_cold.cold_rob_sizes;
+      write_int_array buf "cold_windows" mt.mt_cold.cold_windows;
+      write_int_array buf "cold_windows_hit" mt.mt_cold.cold_windows_hit;
+      write_int_array buf "cold_total" mt.mt_cold.cold_total;
+      bprintf buf "statics %d\n" (List.length mt.mt_static_loads);
+      List.iter
+        (fun (sl : Profile.static_load) ->
+          bprintf buf "sl %d %d %d %d\n" sl.sl_static_id sl.sl_first_pos
+            sl.sl_count sl.sl_cold;
+          write_hist buf "spacing" sl.sl_spacing;
+          write_hist buf "strides" sl.sl_strides;
+          write_hist buf "reuse" sl.sl_reuse)
+        mt.mt_static_loads)
+    p.p_microtraces;
+  bprintf buf "end\n";
+  Buffer.contents buf
+
+(* ---- Parsing ---- *)
+
+type reader = { lines : string array; mutable pos : int }
+
+let fail_at r msg =
+  failwith
+    (Printf.sprintf "Profile_io: %s at line %d%s" msg (r.pos + 1)
+       (if r.pos < Array.length r.lines then ": " ^ r.lines.(r.pos) else ""))
+
+let next_line r =
+  if r.pos >= Array.length r.lines then fail_at r "unexpected end of file";
+  let l = r.lines.(r.pos) in
+  r.pos <- r.pos + 1;
+  l
+
+let tokens_of r ~tag =
+  let l = next_line r in
+  match String.split_on_char ' ' l with
+  | t :: rest when t = tag -> rest
+  | _ ->
+    r.pos <- r.pos - 1;
+    fail_at r (Printf.sprintf "expected %S" tag)
+
+let parse_int r s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> fail_at r (Printf.sprintf "bad integer %S" s)
+
+let parse_float r s =
+  match float_of_string_opt s with
+  | Some v -> v
+  | None -> fail_at r (Printf.sprintf "bad float %S" s)
+
+let read_ints r ~tag ~count =
+  let toks = tokens_of r ~tag in
+  match toks with
+  | n :: rest when parse_int r n = List.length rest ->
+    (match count with
+    | Some c when parse_int r n <> c -> fail_at r (tag ^ ": wrong element count")
+    | _ -> Array.of_list (List.map (parse_int r) rest))
+  | _ -> fail_at r (tag ^ ": malformed array")
+
+let read_floats r ~tag =
+  let toks = tokens_of r ~tag in
+  match toks with
+  | n :: rest when parse_int r n = List.length rest ->
+    Array.of_list (List.map (parse_float r) rest)
+  | _ -> fail_at r (tag ^ ": malformed array")
+
+let read_hist r ~tag =
+  let toks = tokens_of r ~tag:"hist" in
+  match toks with
+  | name :: n :: pairs when name = tag && parse_int r n = List.length pairs ->
+    let h = Histogram.create () in
+    List.iter
+      (fun pair ->
+        match String.split_on_char ':' pair with
+        | [ k; c ] -> Histogram.add h ~count:(parse_int r c) (parse_int r k)
+        | _ -> fail_at r ("bad histogram pair " ^ pair))
+      pairs;
+    h
+  | _ -> fail_at r ("expected histogram " ^ tag)
+
+let read_static r : Profile.static_load =
+  match tokens_of r ~tag:"sl" with
+  | [ id; first; count; cold ] ->
+    let sl_count = parse_int r count in
+    let sl_cold = parse_int r cold in
+    let spacing = read_hist r ~tag:"spacing" in
+    let strides = read_hist r ~tag:"strides" in
+    let reuse = read_hist r ~tag:"reuse" in
+    let cold_fraction =
+      if sl_count = 0 then 0.0 else float_of_int sl_cold /. float_of_int sl_count
+    in
+    {
+      sl_static_id = parse_int r id;
+      sl_first_pos = parse_int r first;
+      sl_count;
+      sl_spacing = spacing;
+      sl_strides = strides;
+      sl_reuse = reuse;
+      sl_cold;
+      sl_stack = lazy (Statstack.of_reuse_histogram ~cold_fraction reuse);
+    }
+  | _ -> fail_at r "malformed static load"
+
+let read_microtrace r : Profile.microtrace =
+  match tokens_of r ~tag:"mt" with
+  | [ index; start; instructions; uops; branches; mem_samples; mem_cold; store_cold ]
+    ->
+    let mix_counts = read_ints r ~tag:"mix" ~count:(Some Isa.n_classes) in
+    let mix = Isa.Class_counts.create () in
+    List.iteri
+      (fun i cls -> Isa.Class_counts.add mix cls mix_counts.(i))
+      Isa.all_classes;
+    let rob_sizes = read_ints r ~tag:"rob_sizes" ~count:None in
+    let ap = read_floats r ~tag:"ap" in
+    let abp = read_floats r ~tag:"abp" in
+    let cp = read_floats r ~tag:"cp" in
+    let abp_windows = read_ints r ~tag:"abp_windows" ~count:None in
+    let load_depth = read_hist r ~tag:"load_depth" in
+    let reuse_load = read_hist r ~tag:"reuse_load" in
+    let reuse_store = read_hist r ~tag:"reuse_store" in
+    let cold_rob_sizes = read_ints r ~tag:"cold_rob_sizes" ~count:None in
+    let cold_windows = read_ints r ~tag:"cold_windows" ~count:None in
+    let cold_windows_hit = read_ints r ~tag:"cold_windows_hit" ~count:None in
+    let cold_total = read_ints r ~tag:"cold_total" ~count:None in
+    let n_statics =
+      match tokens_of r ~tag:"statics" with
+      | [ n ] -> parse_int r n
+      | _ -> fail_at r "malformed statics count"
+    in
+    let statics = List.init n_statics (fun _ -> read_static r) in
+    {
+      mt_index = parse_int r index;
+      mt_start_instruction = parse_int r start;
+      mt_instructions = parse_int r instructions;
+      mt_uops = parse_int r uops;
+      mt_mix = mix;
+      mt_chains = { rob_sizes; ap; abp; cp; abp_windows };
+      mt_load_depth = load_depth;
+      mt_reuse_load = reuse_load;
+      mt_reuse_store = reuse_store;
+      mt_mem_samples = parse_int r mem_samples;
+      mt_mem_cold = parse_int r mem_cold;
+      mt_store_cold = parse_int r store_cold;
+      mt_cold = { cold_rob_sizes; cold_windows; cold_windows_hit; cold_total };
+      mt_static_loads = statics;
+      mt_branches = parse_int r branches;
+    }
+  | _ -> fail_at r "malformed microtrace header"
+
+let of_string s =
+  let lines =
+    String.split_on_char '\n' s |> List.filter (fun l -> l <> "") |> Array.of_list
+  in
+  let r = { lines; pos = 0 } in
+  (match tokens_of r ~tag:"mipp-profile" with
+  | [ v ] when parse_int r v = format_version -> ()
+  | [ v ] ->
+    failwith
+      (Printf.sprintf "Profile_io: format version %s unsupported (expected %d)" v
+         format_version)
+  | _ -> fail_at r "bad header");
+  let workload = String.concat " " (tokens_of r ~tag:"workload") in
+  let window, microtrace, total, line_bytes =
+    match tokens_of r ~tag:"params" with
+    | [ a; b; c; d ] -> (parse_int r a, parse_int r b, parse_int r c, parse_int r d)
+    | _ -> fail_at r "malformed params"
+  in
+  let entropy, branch_fraction, upi, inst_cold =
+    match tokens_of r ~tag:"scalars" with
+    | [ a; b; c; d ] ->
+      (parse_float r a, parse_float r b, parse_float r c, parse_float r d)
+    | _ -> fail_at r "malformed scalars"
+  in
+  let inst_samples, data_accesses, data_cold =
+    match tokens_of r ~tag:"counters" with
+    | [ a; b; c ] -> (parse_int r a, parse_int r b, parse_int r c)
+    | _ -> fail_at r "malformed counters"
+  in
+  let reuse_inst = read_hist r ~tag:"reuse_inst" in
+  let n_mts =
+    match tokens_of r ~tag:"microtraces" with
+    | [ n ] -> parse_int r n
+    | _ -> fail_at r "malformed microtraces count"
+  in
+  let mts = Array.init n_mts (fun _ -> read_microtrace r) in
+  (match tokens_of r ~tag:"end" with
+  | [] -> ()
+  | _ -> fail_at r "trailing content after end marker");
+  {
+    Profile.p_workload = workload;
+    p_window_instructions = window;
+    p_microtrace_instructions = microtrace;
+    p_total_instructions = total;
+    p_line_bytes = line_bytes;
+    p_microtraces = mts;
+    p_entropy = entropy;
+    p_branch_fraction = branch_fraction;
+    p_uops_per_instruction = upi;
+    p_reuse_inst = reuse_inst;
+    p_inst_cold_fraction = inst_cold;
+    p_inst_samples = inst_samples;
+    p_data_accesses = data_accesses;
+    p_data_cold = data_cold;
+  }
+
+let save path profile =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string profile))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      of_string s)

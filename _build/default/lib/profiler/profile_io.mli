@@ -1,0 +1,26 @@
+(** Profile serialization.
+
+    The paper's released framework is split in two tools: AIP writes the
+    application profile to disk (protobuf) once, PMT reads it back for
+    every model evaluation.  This module provides the same separation with
+    a self-describing line-oriented text format: [save] writes everything
+    {!Profile.t} holds, [load] reconstructs it (lazy per-static-load
+    StatStacks are rebuilt on demand).
+
+    The format is versioned; [load] rejects files written by an
+    incompatible version. *)
+
+val format_version : int
+
+val save : string -> Profile.t -> unit
+(** [save path profile] writes the profile; raises [Sys_error] on I/O
+    failure. *)
+
+val load : string -> Profile.t
+(** Raises [Failure] with a descriptive message on parse errors or
+    version mismatch, [Sys_error] on I/O failure. *)
+
+val to_string : Profile.t -> string
+(** The serialized form, for tests and piping. *)
+
+val of_string : string -> Profile.t

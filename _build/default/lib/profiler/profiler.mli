@@ -1,0 +1,37 @@
+(** The micro-architecture independent profiler (the paper's AIP).
+
+    One pass over the dynamic micro-op stream produces a {!Profile.t}.
+    Sampling follows Fig 5.1: a [microtrace_instructions]-long burst is
+    analyzed at the start of every [window_instructions]-long window; the
+    rest of the window is fast-forwarded.  Reuse-distance bookkeeping
+    (last-access tables) and branch-entropy state are maintained across
+    the whole stream so distances and histories that span windows stay
+    exact; only the *recording* of statistics is sampled. *)
+
+type config = {
+  window_instructions : int;
+  microtrace_instructions : int;
+  rob_sizes : int array;  (** ROB sizes to profile chains for *)
+  line_bytes : int;
+  entropy_history_bits : int;
+}
+
+val default_config : config
+(** 1000-instruction micro-traces every 10_000 instructions; ROB sizes
+    16..256 step 16; 64-byte lines; 8-bit branch history. *)
+
+val profile :
+  ?config:config -> Workload_spec.t -> seed:int -> n_instructions:int -> Profile.t
+
+val full_instruction_mix :
+  Workload_spec.t -> seed:int -> n_instructions:int -> Isa.Class_counts.t
+(** Unsampled micro-op mix over the same stream — the Fig 5.2 baseline. *)
+
+val full_chains :
+  ?rob_sizes:int array ->
+  Workload_spec.t ->
+  seed:int ->
+  n_instructions:int ->
+  Profile.chain_stats
+(** Unsampled dependence-chain profile — the Fig 5.5 baseline.  Memory
+    heavy (buffers the whole stream); keep [n_instructions] moderate. *)

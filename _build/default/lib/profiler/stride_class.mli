@@ -1,0 +1,21 @@
+(** Static-load stride classification (§4.5, Fig 4.7).
+
+    From a static load's stride histogram: loads occurring once are
+    [Unique]; otherwise the dominant strides are searched with the paper's
+    cumulative cutoffs — one stride covering >= 60% of recurrences, two
+    covering 70%, three 80%, four 90% — preferring the simplest pattern;
+    anything else is [Random_strided]. *)
+
+type category =
+  | Strided of int list  (** the (1-4) dominant strides, most frequent first *)
+  | Unique
+  | Random_strided
+
+val classify : Profile.static_load -> category
+
+val fig_label : Profile.static_load -> string
+(** The Fig 4.7 bucket: "STRIDE" (exactly one distinct stride, no
+    filtering needed), "FILTER-1" .. "FILTER-4", "RANDOM" or "UNIQUE". *)
+
+val cutoffs : float array
+(** The cumulative-coverage thresholds, indexed by stride count - 1. *)

@@ -1,0 +1,1 @@
+lib/sim/simulator.ml: Array Float Hashtbl Hierarchy Int_heap Isa List Power Predictor Sim_result Stride_prefetcher Uarch Workload_gen Workload_spec

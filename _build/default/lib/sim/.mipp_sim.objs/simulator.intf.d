@@ -1,0 +1,1 @@
+lib/sim/simulator.mli: Sim_result Uarch Workload_spec

@@ -1,0 +1,96 @@
+(* Piecewise-constant representation of the survival function
+   S(j) = P(rd > j) and its prefix sums.
+
+   With distinct reuse distances k_0 < ... < k_{n-1} (counts c_i, total T)
+   and cum_i = c_0 + ... + c_i, S is constant on each of the n+1 segments
+
+     [0, k_0)          S = 1
+     [k_i, k_{i+1})    S = 1 - cum_i / T
+     [k_{n-1}, inf)    S = 0
+
+   so E[sd(R)] = sum_{j=0}^{R-1} S(j) evaluates from per-segment prefix
+   sums in O(log n). *)
+
+type t = {
+  cold : float;
+  total_reuses : int;
+  starts : int array;  (* segment start j-values, starts.(0) = 0 *)
+  values : float array;  (* S on each segment *)
+  prefix : float array;  (* prefix.(i) = sum_{j=0}^{starts.(i)-1} S(j) *)
+}
+
+let of_reuse_histogram ?(cold_fraction = 0.0) h =
+  if cold_fraction < 0.0 || cold_fraction > 1.0 then
+    invalid_arg "Statstack.of_reuse_histogram: cold_fraction out of range";
+  let entries = Histogram.to_sorted_list h in
+  List.iter
+    (fun (k, _) ->
+      if k < 0 then invalid_arg "Statstack.of_reuse_histogram: negative reuse distance")
+    entries;
+  let total = Histogram.total h in
+  let totalf = float_of_int total in
+  let n = List.length entries in
+  let starts = Array.make (n + 1) 0 in
+  let values = Array.make (n + 1) 1.0 in
+  let cum = ref 0 in
+  List.iteri
+    (fun i (k, c) ->
+      cum := !cum + c;
+      starts.(i + 1) <- k;
+      values.(i + 1) <- 1.0 -. (float_of_int !cum /. totalf))
+    entries;
+  let prefix = Array.make (n + 1) 0.0 in
+  for i = 1 to n do
+    let len = starts.(i) - starts.(i - 1) in
+    prefix.(i) <- prefix.(i - 1) +. (float_of_int len *. values.(i - 1))
+  done;
+  { cold = cold_fraction; total_reuses = total; starts; values; prefix }
+
+(* Index of the segment containing j. *)
+let segment_of t j =
+  let lo = ref 0 and hi = ref (Array.length t.starts - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if t.starts.(mid) <= j then lo := mid else hi := mid - 1
+  done;
+  !lo
+
+(* S(j) = P(rd > j). *)
+let survival t j =
+  if t.total_reuses = 0 then 0.0
+  else if j < 0 then 1.0
+  else t.values.(segment_of t j)
+
+let expected_stack_distance t r =
+  if r <= 0 || t.total_reuses = 0 then 0.0
+  else
+    let i = segment_of t (r - 1) in
+    t.prefix.(i) +. (float_of_int (r - t.starts.(i)) *. t.values.(i))
+
+let miss_ratio t ~cache_lines =
+  if cache_lines <= 0 then 1.0
+  else if t.total_reuses = 0 then t.cold
+  else begin
+    let capacity = float_of_int cache_lines in
+    (* Largest reuse distance in the profile bounds the search: beyond it
+       the expected stack distance stops growing. *)
+    let max_rd = t.starts.(Array.length t.starts - 1) + 1 in
+    if expected_stack_distance t max_rd <= capacity then t.cold
+    else begin
+      (* Smallest r with E[sd(r)] > capacity (monotone in r). *)
+      let lo = ref 1 and hi = ref max_rd in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if expected_stack_distance t mid > capacity then hi := mid else lo := mid + 1
+      done;
+      (* Reuses with rd >= lo miss: fraction = S(lo - 1). *)
+      let miss_reuses = survival t (!lo - 1) in
+      t.cold +. ((1.0 -. t.cold) *. miss_reuses)
+    end
+  end
+
+let miss_ratio_for t (lvl : Uarch.cache_level) =
+  miss_ratio t ~cache_lines:(max 1 (lvl.size_bytes / lvl.line_bytes))
+
+let cold_fraction t = t.cold
+let reuse_count t = t.total_reuses

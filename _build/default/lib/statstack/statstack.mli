@@ -1,0 +1,40 @@
+(** StatStack: statistical cache modeling from reuse distances (§4.2).
+
+    Reuse distances (number of accesses to *other* cache lines between two
+    accesses to the same line) are cheap to sample micro-architecture
+    independently.  StatStack converts a reuse-distance distribution into
+    expected stack distances (number of *unique* lines between the two
+    accesses): an intervening access at position [k] inside a reuse window
+    of length [R] is unique within the window exactly when its own forward
+    reuse distance jumps past the window end, which happens with
+    probability [P(rd > R-k)].  Summing over positions,
+
+      [E\[sd(R)\] = sum_{j=0}^{R-1} P(rd > j)].
+
+    An access whose expected stack distance exceeds the capacity (in
+    lines) of a fully-associative LRU cache is a miss; first touches
+    (cold accesses) always miss.  Each cache level is modeled
+    independently, which assumes an inclusive hierarchy. *)
+
+type t
+
+val of_reuse_histogram : ?cold_fraction:float -> Histogram.t -> t
+(** [of_reuse_histogram ~cold_fraction h] builds a model from a reuse
+    distance histogram.  [cold_fraction] is the fraction of *all* accesses
+    that never saw a prior access to their line (default 0); the histogram
+    describes the remaining accesses. *)
+
+val expected_stack_distance : t -> int -> float
+(** [expected_stack_distance t r] for a reuse distance [r >= 0];
+    monotonically non-decreasing in [r] and bounded by [r]. *)
+
+val miss_ratio : t -> cache_lines:int -> float
+(** Fraction of all accesses (cold included) missing in a
+    fully-associative LRU cache of [cache_lines] lines. *)
+
+val miss_ratio_for : t -> Uarch.cache_level -> float
+
+val cold_fraction : t -> float
+
+val reuse_count : t -> int
+(** Number of reuses in the underlying histogram. *)

@@ -1,0 +1,124 @@
+type linear = { slope : float; intercept : float }
+
+let linear points =
+  let n = List.length points in
+  if n < 2 then invalid_arg "Fit.linear: need at least two points";
+  let nf = float_of_int n in
+  let sx = List.fold_left (fun acc (x, _) -> acc +. x) 0.0 points in
+  let sy = List.fold_left (fun acc (_, y) -> acc +. y) 0.0 points in
+  let sxx = List.fold_left (fun acc (x, _) -> acc +. (x *. x)) 0.0 points in
+  let sxy = List.fold_left (fun acc (x, y) -> acc +. (x *. y)) 0.0 points in
+  let denom = (nf *. sxx) -. (sx *. sx) in
+  if Float.abs denom < 1e-12 then invalid_arg "Fit.linear: zero x-variance";
+  let slope = ((nf *. sxy) -. (sx *. sy)) /. denom in
+  let intercept = (sy -. (slope *. sx)) /. nf in
+  { slope; intercept }
+
+let eval_linear { slope; intercept } x = (slope *. x) +. intercept
+
+let r_squared fit points =
+  let ys = List.map snd points in
+  let ybar = Stats.mean ys in
+  let ss_tot = List.fold_left (fun acc y -> acc +. ((y -. ybar) ** 2.0)) 0.0 ys in
+  let ss_res =
+    List.fold_left
+      (fun acc (x, y) -> acc +. ((y -. eval_linear fit x) ** 2.0))
+      0.0 points
+  in
+  if ss_tot = 0.0 then 1.0 else 1.0 -. (ss_res /. ss_tot)
+
+type log_fit = { a : float; b : float }
+
+let logarithmic points =
+  List.iter
+    (fun (x, _) -> if x <= 0.0 then invalid_arg "Fit.logarithmic: x must be positive")
+    points;
+  let { slope; intercept } = linear (List.map (fun (x, y) -> (log x, y)) points) in
+  { a = intercept; b = slope }
+
+let eval_log { a; b } x = a +. (b *. log x)
+
+let interpolate_log (x1, y1) (x2, y2) x =
+  if x1 <= 0.0 || x2 <= 0.0 || x <= 0.0 then
+    invalid_arg "Fit.interpolate_log: x must be positive";
+  if Float.abs (log x2 -. log x1) < 1e-12 then y1
+  else
+    let b = (y2 -. y1) /. (log x2 -. log x1) in
+    let a = y1 -. (b *. log x1) in
+    a +. (b *. log x)
+
+(* Gaussian elimination with partial pivoting on the normal equations. *)
+let solve matrix rhs =
+  let n = Array.length rhs in
+  let m = Array.map Array.copy matrix in
+  let b = Array.copy rhs in
+  for col = 0 to n - 1 do
+    let pivot = ref col in
+    for row = col + 1 to n - 1 do
+      if Float.abs m.(row).(col) > Float.abs m.(!pivot).(col) then pivot := row
+    done;
+    if Float.abs m.(!pivot).(col) < 1e-10 then
+      invalid_arg "Fit.multiple_linear: singular system";
+    if !pivot <> col then begin
+      let tmp = m.(col) in
+      m.(col) <- m.(!pivot);
+      m.(!pivot) <- tmp;
+      let tb = b.(col) in
+      b.(col) <- b.(!pivot);
+      b.(!pivot) <- tb
+    end;
+    for row = col + 1 to n - 1 do
+      let factor = m.(row).(col) /. m.(col).(col) in
+      for k = col to n - 1 do
+        m.(row).(k) <- m.(row).(k) -. (factor *. m.(col).(k))
+      done;
+      b.(row) <- b.(row) -. (factor *. b.(col))
+    done
+  done;
+  let x = Array.make n 0.0 in
+  for row = n - 1 downto 0 do
+    let s = ref b.(row) in
+    for k = row + 1 to n - 1 do
+      s := !s -. (m.(row).(k) *. x.(k))
+    done;
+    x.(row) <- !s /. m.(row).(row)
+  done;
+  x
+
+let multiple_linear rows =
+  match rows with
+  | [] -> invalid_arg "Fit.multiple_linear: no rows"
+  | (first, _) :: _ ->
+    let dim = Array.length first + 1 in
+    List.iter
+      (fun (features, _) ->
+        if Array.length features + 1 <> dim then
+          invalid_arg "Fit.multiple_linear: inconsistent feature dimensions")
+      rows;
+    let augmented (features : float array) =
+      Array.append [| 1.0 |] features
+    in
+    let xtx = Array.make_matrix dim dim 0.0 in
+    let xty = Array.make dim 0.0 in
+    List.iter
+      (fun (features, y) ->
+        let row = augmented features in
+        for i = 0 to dim - 1 do
+          xty.(i) <- xty.(i) +. (row.(i) *. y);
+          for j = 0 to dim - 1 do
+            xtx.(i).(j) <- xtx.(i).(j) +. (row.(i) *. row.(j))
+          done
+        done)
+      rows;
+    (* Ridge-style jitter keeps nearly collinear design spaces solvable. *)
+    for i = 0 to dim - 1 do
+      xtx.(i).(i) <- xtx.(i).(i) +. 1e-9
+    done;
+    solve xtx xty
+
+let eval_multiple weights features =
+  if Array.length weights <> Array.length features + 1 then
+    invalid_arg "Fit.eval_multiple: dimension mismatch";
+  let acc = ref weights.(0) in
+  Array.iteri (fun i x -> acc := !acc +. (weights.(i + 1) *. x)) features;
+  !acc

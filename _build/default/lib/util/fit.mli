@@ -1,0 +1,40 @@
+(** Least-squares fitting.
+
+    Two fits from the thesis: the linear branch-entropy-to-missrate model
+    (Fig 3.9) and the logarithmic interpolation of dependence-chain lengths
+    across ROB sizes (Eq 5.2-5.4). *)
+
+type linear = { slope : float; intercept : float }
+
+val linear : (float * float) list -> linear
+(** Ordinary least squares [y = slope*x + intercept].  Raises
+    [Invalid_argument] with fewer than two points or zero x-variance. *)
+
+val eval_linear : linear -> float -> float
+
+val r_squared : linear -> (float * float) list -> float
+(** Coefficient of determination of a fit on a point set. *)
+
+type log_fit = { a : float; b : float }
+(** [y = a + b * log x] — the thesis writes chain_length = a*log(ROB)+b with
+    the roles of a/b swapped in Eq 5.3/5.4; we follow [y = a + b log x]. *)
+
+val logarithmic : (float * float) list -> log_fit
+(** Least squares on (log x, y).  All x must be positive. *)
+
+val eval_log : log_fit -> float -> float
+
+val interpolate_log : (float * float) -> (float * float) -> float -> float
+(** [interpolate_log (x1,y1) (x2,y2) x] fits [y = a + b log x] through the
+    two points exactly and evaluates at [x] — the thesis' piecewise
+    interpolation between adjacent profiled ROB sizes. *)
+
+val multiple_linear : (float array * float) list -> float array
+(** [multiple_linear rows] solves ordinary least squares for
+    [y = w . (1 :: features)]; returns the weight vector (intercept first).
+    Used by the empirical baseline model (§7.5).  Solves the normal
+    equations by Gaussian elimination with partial pivoting; raises
+    [Invalid_argument] on singular systems or inconsistent dimensions. *)
+
+val eval_multiple : float array -> float array -> float
+(** [eval_multiple weights features] applies a [multiple_linear] model. *)

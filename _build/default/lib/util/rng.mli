@@ -1,0 +1,52 @@
+(** Deterministic pseudo-random number generation.
+
+    All stochastic behaviour in the repository (workload synthesis, sampling,
+    design-space noise) flows through this module so that every experiment is
+    reproducible from a seed.  The generator is splitmix64, which is fast,
+    has a 64-bit state and passes BigCrush. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] returns a fresh generator.  Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator with the same current state. *)
+
+val split : t -> t
+(** [split t] derives a new generator from [t], advancing [t].  The two
+    streams are statistically independent; used to give each benchmark
+    phase or structure its own stream. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  [bound] must be positive. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p]. *)
+
+val geometric : t -> float -> int
+(** [geometric t p] is the number of failures before the first success of a
+    Bernoulli([p]) process; mean [(1-p)/p].  [p] must be in (0, 1]. *)
+
+val exponential : t -> float -> float
+(** [exponential t mean] samples an exponential distribution. *)
+
+val gaussian : t -> mu:float -> sigma:float -> float
+(** Box-Muller normal sample. *)
+
+val choose_weighted : t -> (float * 'a) array -> 'a
+(** [choose_weighted t arr] picks an element with probability proportional
+    to its weight.  Weights must be non-negative with a positive sum. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

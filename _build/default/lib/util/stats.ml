@@ -1,0 +1,89 @@
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stdev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+    let m = mean xs in
+    let var =
+      List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs
+      /. float_of_int (List.length xs)
+    in
+    sqrt var
+
+let sorted xs = List.sort compare xs
+
+let percentile xs p =
+  if xs = [] then invalid_arg "Stats.percentile: empty list";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let arr = Array.of_list (sorted xs) in
+  let n = Array.length arr in
+  if n = 1 then arr.(0)
+  else
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = int_of_float (ceil rank) in
+    if lo = hi then arr.(lo)
+    else
+      let w = rank -. float_of_int lo in
+      (arr.(lo) *. (1.0 -. w)) +. (arr.(hi) *. w)
+
+let median = function [] -> 0.0 | xs -> percentile xs 50.0
+
+let min_max = function
+  | [] -> invalid_arg "Stats.min_max: empty list"
+  | x :: rest ->
+    List.fold_left (fun (lo, hi) v -> (Float.min lo v, Float.max hi v)) (x, x) rest
+
+let mean_abs xs = mean (List.map Float.abs xs)
+
+let max_abs = function
+  | [] -> 0.0
+  | xs -> List.fold_left (fun acc x -> Float.max acc (Float.abs x)) 0.0 xs
+
+let relative_error ~predicted ~reference =
+  if reference = 0.0 then if predicted = 0.0 then 0.0 else Float.infinity
+  else (predicted -. reference) /. reference
+
+type box = {
+  q1 : float;
+  median : float;
+  q3 : float;
+  mean : float;
+  whisker_lo : float;
+  whisker_hi : float;
+  outliers : float list;
+}
+
+let box_summary xs =
+  if xs = [] then invalid_arg "Stats.box_summary: empty list";
+  let q1 = percentile xs 25.0 and q3 = percentile xs 75.0 in
+  let iqr = q3 -. q1 in
+  let lo_fence = q1 -. (1.5 *. iqr) and hi_fence = q3 +. (1.5 *. iqr) in
+  let inside = List.filter (fun x -> x >= lo_fence && x <= hi_fence) xs in
+  let whisker_lo, whisker_hi =
+    match inside with [] -> (q1, q3) | _ -> min_max inside
+  in
+  {
+    q1;
+    median = median xs;
+    q3;
+    mean = mean xs;
+    whisker_lo;
+    whisker_hi;
+    outliers = List.filter (fun x -> x < lo_fence || x > hi_fence) xs;
+  }
+
+let cumulative_distribution xs =
+  let arr = Array.of_list (sorted xs) in
+  let n = float_of_int (Array.length arr) in
+  let acc = ref [] in
+  Array.iteri
+    (fun i v ->
+      let next = if i + 1 < Array.length arr then Some arr.(i + 1) else None in
+      (* Emit only the last of each run of equal values. *)
+      if next <> Some v then acc := (v, float_of_int (i + 1) /. n) :: !acc)
+    arr;
+  List.rev !acc

@@ -1,0 +1,45 @@
+(** Descriptive statistics over float samples.
+
+    Used throughout the evaluation harness to summarize prediction errors the
+    way the paper's box-and-whiskers plots do. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0 for the empty list. *)
+
+val stdev : float list -> float
+(** Population standard deviation; 0 for fewer than two samples. *)
+
+val median : float list -> float
+
+val percentile : float list -> float -> float
+(** [percentile xs p] with [p] in [\[0, 100\]], linear interpolation between
+    order statistics.  Raises [Invalid_argument] on the empty list. *)
+
+val min_max : float list -> float * float
+(** Raises [Invalid_argument] on the empty list. *)
+
+val mean_abs : float list -> float
+(** Mean of absolute values — the paper's "average absolute error". *)
+
+val max_abs : float list -> float
+
+val relative_error : predicted:float -> reference:float -> float
+(** [(predicted - reference) / reference]; 0 when both are 0, signed. *)
+
+type box = {
+  q1 : float;
+  median : float;
+  q3 : float;
+  mean : float;
+  whisker_lo : float;  (** smallest sample >= q1 - 1.5*IQR *)
+  whisker_hi : float;  (** largest sample <= q3 + 1.5*IQR *)
+  outliers : float list;
+}
+(** Summary matching the paper's box-and-whiskers convention (Fig 3.10). *)
+
+val box_summary : float list -> box
+(** Raises [Invalid_argument] on the empty list. *)
+
+val cumulative_distribution : float list -> (float * float) list
+(** [(value, fraction <= value)] pairs at each distinct sorted sample — the
+    paper's cumulative error distribution plots (Fig 6.4, 6.8). *)

@@ -1,0 +1,58 @@
+let pad s width = s ^ String.make (max 0 (width - String.length s)) ' '
+
+let render ~header ~rows =
+  let ncols = List.length header in
+  let normalize row =
+    let len = List.length row in
+    if len >= ncols then row else row @ List.init (ncols - len) (fun _ -> "")
+  in
+  let rows = List.map normalize rows in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (List.nth row i)))
+          (String.length h) rows)
+      header
+  in
+  let render_row cells =
+    String.concat "  " (List.map2 (fun cell w -> pad cell w) cells widths)
+  in
+  let rule =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (render_row header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf rule;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (render_row row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let print ~header ~rows = print_string (render ~header ~rows)
+
+let fmt_f ?(decimals = 3) x = Printf.sprintf "%.*f" decimals x
+
+let fmt_pct ?(decimals = 1) x = Printf.sprintf "%.*f%%" decimals (100.0 *. x)
+
+let stack_bar ?(width = 24) segments =
+  let segments = List.filter (fun (_, v) -> v > 0.0) segments in
+  let total = List.fold_left (fun a (_, v) -> a +. v) 0.0 segments in
+  if total <= 0.0 then ""
+  else begin
+    let buf = Buffer.create width in
+    List.iter
+      (fun (c, v) ->
+        let n = int_of_float (Float.round (v /. total *. float_of_int width)) in
+        Buffer.add_string buf (String.make (max 0 n) c))
+      segments;
+    Buffer.contents buf
+  end
+
+let section title =
+  let bar = String.make (String.length title + 4) '=' in
+  Printf.printf "\n%s\n= %s =\n%s\n" bar title bar

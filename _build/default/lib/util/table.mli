@@ -1,0 +1,25 @@
+(** Plain-text table rendering for the benchmark harness output.
+
+    Every reproduced table/figure prints its rows through this module so the
+    bench output is uniform and diffable. *)
+
+val render : header:string list -> rows:string list list -> string
+(** Column-aligned table with a header rule.  Rows shorter than the header
+    are padded with empty cells. *)
+
+val print : header:string list -> rows:string list list -> unit
+
+val fmt_f : ?decimals:int -> float -> string
+(** Fixed-point float formatting (default 3 decimals). *)
+
+val fmt_pct : ?decimals:int -> float -> string
+(** [fmt_pct 0.093] is ["9.3%"] (default 1 decimal). *)
+
+val section : string -> unit
+(** Print a banner introducing one experiment's output. *)
+
+val stack_bar : ?width:int -> (char * float) list -> string
+(** [stack_bar segments] renders proportional segments as a one-line bar,
+    each segment drawn with its character, e.g.
+    [stack_bar [('b', 2.0); ('d', 1.0)]] gives ["bbbbbbbbbbbbbbbbdddddddd"]
+    at the default width of 24.  Non-positive segments are dropped. *)

@@ -1,0 +1,1 @@
+lib/workload/benchmarks.mli: Workload_spec

@@ -1,0 +1,1 @@
+lib/workload/workload_gen.ml: Array Hashtbl Isa List Option Rng Workload_spec

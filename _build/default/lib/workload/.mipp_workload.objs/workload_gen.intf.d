@@ -1,0 +1,1 @@
+lib/workload/workload_gen.mli: Isa Workload_spec

@@ -1,0 +1,1 @@
+lib/workload/workload_parser.ml: Array Buffer Fun List Printf String Workload_spec

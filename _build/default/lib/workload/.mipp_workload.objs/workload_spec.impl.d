@@ -1,0 +1,1 @@
+lib/workload/workload_spec.ml: Array Result

@@ -1,0 +1,521 @@
+open Workload_spec
+
+let kb n = n * 1024
+let mb n = n * 1024 * 1024
+
+(* Template-mix builder.  [heavy] weights add CISC decomposition pressure
+   (load-op, store-with-agen, compare-and-branch), raising µops/instruction. *)
+let mix ?(alu = 0.25) ?(alu_mem = 0.06) ?(mul = 0.02) ?(div = 0.0) ?(fp = 0.0)
+    ?(fp_mul = 0.0) ?(fp_div = 0.0) ?(load = 0.2) ?(store = 0.08) ?(store2 = 0.02)
+    ?(branch = 0.08) ?(branch_cmp = 0.04) ?(move = 0.08) () =
+  [|
+    (alu, T_alu);
+    (alu_mem, T_alu_mem);
+    (mul, T_mul);
+    (div, T_div);
+    (fp, T_fp);
+    (fp_mul, T_fp_mul);
+    (fp_div, T_fp_div);
+    (load, T_load);
+    (store, T_store);
+    (store2, T_store2);
+    (branch, T_branch);
+    (branch_cmp, T_branch_cmp);
+    (move, T_move);
+  |]
+
+(* Load-group presets. *)
+let strided ?(weight = 1.0) ?(strides = [ 8 ]) footprint =
+  { lg_weight = weight; lg_pattern = Fixed_strides strides;
+    lg_footprint_bytes = footprint }
+
+let random_in ?(weight = 1.0) footprint =
+  { lg_weight = weight; lg_pattern = Random_in; lg_footprint_bytes = footprint }
+
+let unique ?(weight = 1.0) () =
+  { lg_weight = weight; lg_pattern = Unique; lg_footprint_bytes = 0 }
+
+(* Branch-group presets. *)
+let predictable_branches =
+  [|
+    { bg_weight = 0.6; bg_kind = Loop_every 32 };
+    { bg_weight = 0.3; bg_kind = Pattern [| true; true; true; false |] };
+    { bg_weight = 0.1; bg_kind = Biased 0.95 };
+  |]
+
+let mixed_branches =
+  [|
+    { bg_weight = 0.4; bg_kind = Loop_every 16 };
+    { bg_weight = 0.35; bg_kind = Pattern [| true; false; true; true |] };
+    { bg_weight = 0.2; bg_kind = Biased 0.88 };
+    { bg_weight = 0.05; bg_kind = Biased 0.7 };
+  |]
+
+let unpredictable_branches =
+  [|
+    { bg_weight = 0.35; bg_kind = Loop_every 8 };
+    { bg_weight = 0.20; bg_kind = Biased 0.75 };
+    { bg_weight = 0.15; bg_kind = Biased 0.85 };
+    { bg_weight = 0.30; bg_kind = Pattern [| true; false; false; true; true; false |] };
+  |]
+
+let phase ?(name = "main") ?(templates = default_phase.templates)
+    ?(dep_prob = default_phase.dep_prob) ?(dep_mean = default_phase.dep_mean)
+    ?(far_dep_frac = default_phase.far_dep_frac)
+    ?(dep2_prob = default_phase.dep2_prob)
+    ?(load_dep_prob = default_phase.load_dep_prob)
+    ?(chain_prob = default_phase.chain_prob) ?(n_chains = default_phase.n_chains)
+    ?(body_size = default_phase.body_size) ?(n_bodies = default_phase.n_bodies)
+    ?(body_burst = default_phase.body_burst)
+    ?(load_groups = default_phase.load_groups)
+    ?(store_footprint = default_phase.store_footprint_bytes)
+    ?(branch_groups = default_phase.branch_groups) () =
+  {
+    ph_name = name;
+    templates;
+    dep_prob;
+    dep_mean;
+    far_dep_frac;
+    dep2_prob;
+    load_dep_prob;
+    chain_prob;
+    n_chains;
+    body_size;
+    n_bodies;
+    body_burst;
+    load_groups;
+    store_footprint_bytes = store_footprint;
+    branch_groups;
+  }
+
+let spec ?(phase_length = 300_000) name phases =
+  { wname = name; phase_length; phases = Array.of_list phases }
+
+let all =
+  [
+    (* astar: path-finding; branchy, pointer chasing into an L2/L3 working
+       set, moderate ILP, phased (map vs. path phases). *)
+    ( "astar",
+      spec "astar"
+        [
+          phase ~name:"search"
+            ~templates:(mix ~alu:0.3 ~load:0.22 ~branch:0.1 ~branch_cmp:0.06 ())
+            ~load_dep_prob:0.25 ~dep_mean:4.0
+            ~load_groups:
+              [| random_in ~weight:0.5 (kb 768); strided ~weight:0.3 (kb 64);
+                 random_in ~weight:0.2 (kb 24) |]
+            ~branch_groups:unpredictable_branches ();
+          phase ~name:"expand"
+            ~templates:(mix ~alu:0.34 ~load:0.18 ~branch:0.08 ())
+            ~load_dep_prob:0.1 ~dep_mean:5.0
+            ~load_groups:[| strided ~weight:0.6 (kb 32); random_in ~weight:0.4 (kb 256) |]
+            ~branch_groups:mixed_branches ();
+        ] );
+    (* bwaves: FP stencil over a huge grid; long dependence chains, large
+       strided footprint, very predictable branches. *)
+    ( "bwaves",
+      spec "bwaves"
+        [
+          phase
+            ~templates:
+              (mix ~alu:0.12 ~alu_mem:0.1 ~fp:0.2 ~fp_mul:0.12 ~load:0.22 ~store:0.1
+                 ~branch:0.04 ~branch_cmp:0.0 ~move:0.1 ())
+            ~dep_mean:2.2 ~chain_prob:0.35 ~n_chains:2
+            ~load_groups:
+              [| strided ~weight:0.8 (mb 48); strided ~weight:0.2 ~strides:[ 8; 8; 64 ] (mb 8) |]
+            ~store_footprint:(mb 8) ~branch_groups:predictable_branches ();
+        ] );
+    (* bzip2: integer compression; phased (compress vs. move-to-front),
+       medium footprint, data-dependent branches. *)
+    ( "bzip2",
+      spec "bzip2"
+        [
+          phase ~name:"sort"
+            ~templates:(mix ~alu:0.32 ~load:0.2 ~store:0.1 ~branch:0.09 ~branch_cmp:0.05 ())
+            ~dep_mean:4.5
+            ~load_groups:[| random_in ~weight:0.7 (kb 512); strided ~weight:0.3 (kb 128) |]
+            ~branch_groups:unpredictable_branches ();
+          phase ~name:"huffman"
+            ~templates:(mix ~alu:0.36 ~load:0.16 ~branch:0.1 ())
+            ~dep_mean:3.5 ~chain_prob:0.2
+            ~load_groups:[| strided ~weight:0.6 (kb 16); random_in ~weight:0.4 (kb 64) |]
+            ~branch_groups:mixed_branches ();
+        ] );
+    (* cactusADM: numerical relativity; >50% unique loads (Fig 4.7), heavy
+       µop decomposition, large unrolled loops. *)
+    ( "cactusADM",
+      spec "cactusADM"
+        [
+          phase
+            ~templates:
+              (mix ~alu:0.1 ~alu_mem:0.14 ~fp:0.18 ~fp_mul:0.1 ~load:0.2 ~store:0.08
+                 ~store2:0.06 ~branch:0.03 ~branch_cmp:0.0 ~move:0.11 ())
+            ~dep_mean:3.0 ~body_size:3000 ~n_bodies:1
+            ~load_groups:[| unique ~weight:0.55 (); strided ~weight:0.45 (mb 16) |]
+            ~store_footprint:(mb 4) ~branch_groups:predictable_branches ();
+        ] );
+    (* calculix: FP structural mechanics, mixed solver/assembly behaviour. *)
+    ( "calculix",
+      spec "calculix"
+        [
+          phase
+            ~templates:
+              (mix ~alu:0.18 ~fp:0.16 ~fp_mul:0.1 ~fp_div:0.004 ~load:0.22 ~store:0.08
+                 ~branch:0.06 ())
+            ~dep_mean:4.0
+            ~load_groups:[| strided ~weight:0.7 (kb 512); random_in ~weight:0.3 (kb 384) |]
+            ~branch_groups:predictable_branches ();
+        ] );
+    (* dealII: FP finite elements; moderately branchy C++, medium sets. *)
+    ( "dealII",
+      spec "dealII"
+        [
+          phase
+            ~templates:(mix ~alu:0.2 ~fp:0.14 ~fp_mul:0.08 ~load:0.24 ~branch:0.07 ())
+            ~dep_mean:4.5 ~load_dep_prob:0.12
+            ~load_groups:
+              [| strided ~weight:0.5 (kb 256); random_in ~weight:0.35 (kb 768);
+                 unique ~weight:0.15 () |]
+            ~branch_groups:mixed_branches ();
+        ] );
+    (* gamess: quantum chemistry; compute bound, tiny footprint, almost no
+       misses of any kind: the pure base-component benchmark. *)
+    ( "gamess",
+      spec "gamess"
+        [
+          phase
+            ~templates:
+              (mix ~alu:0.2 ~fp:0.22 ~fp_mul:0.14 ~fp_div:0.006 ~load:0.2 ~store:0.06
+                 ~branch:0.05 ~branch_cmp:0.02 ())
+            ~dep_mean:5.5 ~chain_prob:0.05
+            ~load_groups:[| strided ~weight:0.8 (kb 12); random_in ~weight:0.2 (kb 8) |]
+            ~store_footprint:(kb 8) ~branch_groups:predictable_branches ();
+        ] );
+    (* gcc: compiler; large instruction footprint, branchy, LLC-hit
+       pointer chasing, distinct DRAM-heavy phase (Fig 4.9). *)
+    ( "gcc",
+      spec "gcc" ~phase_length:400_000
+        [
+          phase ~name:"parse"
+            ~templates:(mix ~alu:0.3 ~load:0.2 ~branch:0.1 ~branch_cmp:0.06 ~move:0.1 ())
+            ~dep_mean:4.0 ~body_size:6000 ~n_bodies:2 ~load_dep_prob:0.15
+            ~load_groups:[| random_in ~weight:0.6 (kb 384); strided ~weight:0.4 (kb 64) |]
+            ~branch_groups:mixed_branches ();
+          phase ~name:"optimize"
+            ~templates:(mix ~alu:0.28 ~load:0.24 ~branch:0.1 ~branch_cmp:0.05 ())
+            ~dep_mean:3.2 ~body_size:6000 ~n_bodies:2 ~load_dep_prob:0.45
+            ~load_groups:
+              [| random_in ~weight:0.75 (kb 1024); random_in ~weight:0.25 (mb 48) |]
+            ~branch_groups:unpredictable_branches ();
+        ] );
+    (* GemsFDTD: FP electromagnetic solver; the highest µop/instruction
+       ratio in the suite (~1.38, Fig 3.1), huge strided footprint. *)
+    ( "GemsFDTD",
+      spec "GemsFDTD"
+        [
+          phase
+            ~templates:
+              (mix ~alu:0.06 ~alu_mem:0.2 ~fp:0.16 ~fp_mul:0.1 ~load:0.14 ~store:0.04
+                 ~store2:0.12 ~branch:0.02 ~branch_cmp:0.02 ~move:0.06 ())
+            ~dep_mean:3.0
+            ~load_groups:[| strided ~weight:0.9 (mb 64); random_in ~weight:0.1 (mb 2) |]
+            ~store_footprint:(mb 16) ~branch_groups:predictable_branches ();
+        ] );
+    (* gobmk: go AI; very branchy and unpredictable, small data. *)
+    ( "gobmk",
+      spec "gobmk"
+        [
+          phase
+            ~templates:(mix ~alu:0.3 ~load:0.18 ~branch:0.12 ~branch_cmp:0.08 ())
+            ~dep_mean:5.0 ~body_size:2500 ~n_bodies:3
+            ~load_groups:[| random_in ~weight:0.6 (kb 96); strided ~weight:0.4 (kb 24) |]
+            ~branch_groups:unpredictable_branches ();
+        ] );
+    (* gromacs: molecular dynamics; load-port limited (Fig 3.6), small
+       working set, predictable. *)
+    ( "gromacs",
+      spec "gromacs"
+        [
+          phase
+            ~templates:
+              (mix ~alu:0.1 ~alu_mem:0.08 ~fp:0.2 ~fp_mul:0.12 ~load:0.3 ~store:0.06
+                 ~branch:0.04 ~branch_cmp:0.0 ~move:0.1 ())
+            ~dep_mean:6.0 ~chain_prob:0.04
+            ~load_groups:[| strided ~weight:0.7 (kb 48); random_in ~weight:0.3 (kb 192) |]
+            ~branch_groups:predictable_branches ();
+        ] );
+    (* h264ref: video encoder; integer, load heavy, strided small blocks. *)
+    ( "h264ref",
+      spec "h264ref"
+        [
+          phase
+            ~templates:
+              (mix ~alu:0.26 ~alu_mem:0.1 ~mul:0.04 ~load:0.26 ~store:0.08 ~branch:0.06 ())
+            ~dep_mean:5.0
+            ~load_groups:
+              [| strided ~weight:0.6 ~strides:[ 8; 8; 8; 40 ] (kb 128);
+                 random_in ~weight:0.4 (kb 192) |]
+            ~branch_groups:mixed_branches ();
+        ] );
+    (* hmmer: sequence matching; ALU-dominated dynamic programming, fully
+       L1-resident, perfectly predictable inner loop. *)
+    ( "hmmer",
+      spec "hmmer"
+        [
+          phase
+            ~templates:(mix ~alu:0.42 ~load:0.22 ~store:0.1 ~branch:0.05 ~branch_cmp:0.02 ~move:0.05 ())
+            ~dep_mean:7.0 ~chain_prob:0.03
+            ~load_groups:[| strided ~weight:0.9 (kb 24); random_in ~weight:0.1 (kb 16) |]
+            ~store_footprint:(kb 16) ~branch_groups:predictable_branches ();
+        ] );
+    (* lbm: lattice Boltzmann; lowest µop ratio (~1.07), streaming stores
+       and loads over a huge grid, almost branch free. *)
+    ( "lbm",
+      spec "lbm"
+        [
+          phase
+            ~templates:
+              (mix ~alu:0.1 ~alu_mem:0.02 ~fp:0.24 ~fp_mul:0.14 ~load:0.26 ~store:0.14
+                 ~store2:0.0 ~branch:0.02 ~branch_cmp:0.0 ~move:0.08 ())
+            ~dep_mean:4.0
+            ~load_groups:[| strided ~weight:1.0 (mb 96) |]
+            ~store_footprint:(mb 32) ~branch_groups:predictable_branches ();
+        ] );
+    (* leslie3d: FP fluid dynamics, large strided arrays. *)
+    ( "leslie3d",
+      spec "leslie3d"
+        [
+          phase
+            ~templates:
+              (mix ~alu:0.12 ~alu_mem:0.08 ~fp:0.2 ~fp_mul:0.12 ~load:0.24 ~store:0.1
+                 ~branch:0.03 ~branch_cmp:0.0 ~move:0.11 ())
+            ~dep_mean:3.0 ~chain_prob:0.2
+            ~load_groups:[| strided ~weight:0.85 (mb 24); random_in ~weight:0.15 (mb 1) |]
+            ~store_footprint:(mb 8) ~branch_groups:predictable_branches ();
+        ] );
+    (* libquantum: quantum simulation; a single perfectly-strided stream
+       over a huge array, trivial branches, dispatch-width bound between
+       DRAM bursts. *)
+    ( "libquantum",
+      spec "libquantum"
+        [
+          phase
+            ~templates:
+              (mix ~alu:0.34 ~load:0.24 ~store:0.08 ~branch:0.1 ~branch_cmp:0.0 ~move:0.08 ())
+            ~dep_mean:8.0 ~chain_prob:0.02 ~body_size:64 ~n_bodies:1
+            ~load_groups:[| strided ~weight:1.0 ~strides:[ 16 ] (mb 128) |]
+            ~store_footprint:(mb 16) ~branch_groups:predictable_branches ();
+        ] );
+    (* mcf: the canonical pointer chaser; random accesses over a huge
+       graph, most loads dependent on loads, dependence-limited. *)
+    ( "mcf",
+      spec "mcf"
+        [
+          phase
+            ~templates:(mix ~alu:0.26 ~load:0.3 ~store:0.06 ~branch:0.08 ~branch_cmp:0.05 ())
+            ~dep_mean:2.5 ~load_dep_prob:0.6 ~chain_prob:0.15
+            ~load_groups:
+              [| random_in ~weight:0.8 (mb 96); random_in ~weight:0.2 (mb 2) |]
+            ~branch_groups:unpredictable_branches ();
+        ] );
+    (* milc: lattice QCD; bursty strided DRAM traffic, high MLP. *)
+    ( "milc",
+      spec "milc"
+        [
+          phase
+            ~templates:
+              (mix ~alu:0.1 ~alu_mem:0.06 ~fp:0.22 ~fp_mul:0.14 ~load:0.26 ~store:0.1
+                 ~branch:0.03 ~branch_cmp:0.0 ~move:0.09 ())
+            ~dep_mean:5.5 ~chain_prob:0.05
+            ~load_groups:
+              [| strided ~weight:0.7 ~strides:[ 64 ] (mb 64);
+                 strided ~weight:0.3 ~strides:[ 8 ] (mb 32) |]
+            ~store_footprint:(mb 16) ~branch_groups:predictable_branches ();
+        ] );
+    (* namd: molecular dynamics; compute bound, wide ILP, tiny misses. *)
+    ( "namd",
+      spec "namd"
+        [
+          phase
+            ~templates:
+              (mix ~alu:0.16 ~fp:0.26 ~fp_mul:0.16 ~load:0.22 ~store:0.06 ~branch:0.04
+                 ~branch_cmp:0.0 ~move:0.1 ())
+            ~dep_mean:8.0 ~chain_prob:0.02
+            ~load_groups:[| strided ~weight:0.8 (kb 64); random_in ~weight:0.2 (kb 128) |]
+            ~branch_groups:predictable_branches ();
+        ] );
+    (* omnetpp: discrete event simulation; heap churn (unique + random),
+       branchy, pointer chasing, DRAM sensitive. *)
+    ( "omnetpp",
+      spec "omnetpp"
+        [
+          phase
+            ~templates:(mix ~alu:0.26 ~load:0.24 ~store:0.1 ~branch:0.09 ~branch_cmp:0.05 ())
+            ~dep_mean:3.5 ~load_dep_prob:0.35 ~body_size:4000
+            ~load_groups:
+              [| unique ~weight:0.5 (); random_in ~weight:0.35 (mb 24);
+                 strided ~weight:0.15 (kb 64) |]
+            ~branch_groups:unpredictable_branches ();
+        ] );
+    (* perlbench: interpreter; big code footprint, branchy, L2-resident. *)
+    ( "perlbench",
+      spec "perlbench"
+        [
+          phase
+            ~templates:(mix ~alu:0.3 ~load:0.22 ~store:0.08 ~branch:0.1 ~branch_cmp:0.06 ~move:0.1 ())
+            ~dep_mean:4.0 ~body_size:5000 ~n_bodies:2 ~load_dep_prob:0.2
+            ~load_groups:[| random_in ~weight:0.7 (kb 256); strided ~weight:0.3 (kb 32) |]
+            ~branch_groups:mixed_branches ();
+        ] );
+    (* povray: ray tracer; FP compute bound, tiny footprint, branchy but
+       predictable. *)
+    ( "povray",
+      spec "povray"
+        [
+          phase
+            ~templates:
+              (mix ~alu:0.18 ~fp:0.24 ~fp_mul:0.14 ~fp_div:0.008 ~load:0.2 ~store:0.04
+                 ~branch:0.08 ~branch_cmp:0.04 ())
+            ~dep_mean:4.5 ~chain_prob:0.08
+            ~load_groups:[| random_in ~weight:0.6 (kb 48); strided ~weight:0.4 (kb 16) |]
+            ~branch_groups:predictable_branches ();
+        ] );
+    (* sjeng: chess; dispatch bound with very unpredictable branches. *)
+    ( "sjeng",
+      spec "sjeng"
+        [
+          phase
+            ~templates:(mix ~alu:0.34 ~load:0.18 ~store:0.06 ~branch:0.12 ~branch_cmp:0.08 ())
+            ~dep_mean:6.0 ~body_size:3000 ~n_bodies:2
+            ~load_groups:[| random_in ~weight:0.7 (kb 96); strided ~weight:0.3 (kb 32) |]
+            ~branch_groups:unpredictable_branches ();
+        ] );
+    (* soplex: LP solver; sparse matrix random accesses, DRAM sensitive. *)
+    ( "soplex",
+      spec "soplex"
+        [
+          phase
+            ~templates:
+              (mix ~alu:0.2 ~fp:0.14 ~fp_mul:0.08 ~load:0.26 ~store:0.08 ~branch:0.07 ())
+            ~dep_mean:3.5 ~load_dep_prob:0.25
+            ~load_groups:
+              [| random_in ~weight:0.55 (mb 48); strided ~weight:0.45 (mb 4) |]
+            ~branch_groups:mixed_branches ();
+        ] );
+    (* sphinx3: speech recognition; FP with large strided tables. *)
+    ( "sphinx3",
+      spec "sphinx3"
+        [
+          phase
+            ~templates:
+              (mix ~alu:0.16 ~fp:0.2 ~fp_mul:0.12 ~load:0.26 ~store:0.06 ~branch:0.06 ())
+            ~dep_mean:5.0
+            ~load_groups:
+              [| strided ~weight:0.6 (mb 16); random_in ~weight:0.4 (kb 512) |]
+            ~branch_groups:mixed_branches ();
+        ] );
+    (* tonto: quantum chemistry; multiply/divide heavy FP compute. *)
+    ( "tonto",
+      spec "tonto"
+        [
+          phase
+            ~templates:
+              (mix ~alu:0.16 ~fp:0.2 ~fp_mul:0.16 ~fp_div:0.012 ~mul:0.03 ~load:0.2
+                 ~store:0.06 ~branch:0.05 ())
+            ~dep_mean:4.5
+            ~load_groups:[| strided ~weight:0.7 (kb 256); random_in ~weight:0.3 (kb 64) |]
+            ~branch_groups:predictable_branches ();
+        ] );
+    (* wrf: weather model; phased FP stencils over large grids. *)
+    ( "wrf",
+      spec "wrf"
+        [
+          phase ~name:"physics"
+            ~templates:
+              (mix ~alu:0.14 ~alu_mem:0.08 ~fp:0.2 ~fp_mul:0.12 ~load:0.22 ~store:0.08
+                 ~branch:0.04 ~branch_cmp:0.0 ~move:0.12 ())
+            ~dep_mean:3.5
+            ~load_groups:[| strided ~weight:0.8 (mb 12); random_in ~weight:0.2 (mb 1) |]
+            ~branch_groups:predictable_branches ();
+          phase ~name:"dynamics"
+            ~templates:
+              (mix ~alu:0.14 ~alu_mem:0.06 ~fp:0.22 ~fp_mul:0.1 ~load:0.24 ~store:0.1
+                 ~branch:0.04 ~branch_cmp:0.0 ~move:0.1 ())
+            ~dep_mean:2.8 ~chain_prob:0.25
+            ~load_groups:[| strided ~weight:0.9 (mb 40); random_in ~weight:0.1 (kb 512) |]
+            ~store_footprint:(mb 8) ~branch_groups:predictable_branches ();
+        ] );
+    (* xalancbmk: XML transformation; >50% unique loads, big code, very
+       branchy, L2/L3 resident. *)
+    ( "xalancbmk",
+      spec "xalancbmk"
+        [
+          phase
+            ~templates:(mix ~alu:0.26 ~load:0.26 ~store:0.08 ~branch:0.1 ~branch_cmp:0.06 ())
+            ~dep_mean:4.0 ~body_size:6000 ~n_bodies:2 ~load_dep_prob:0.3
+            ~load_groups:
+              [| unique ~weight:0.55 (); random_in ~weight:0.3 (mb 1);
+                 strided ~weight:0.15 (kb 64) |]
+            ~branch_groups:unpredictable_branches ();
+        ] );
+    (* zeusmp: FP astrophysics; large strided arrays, moderate chains. *)
+    ( "zeusmp",
+      spec "zeusmp"
+        [
+          phase
+            ~templates:
+              (mix ~alu:0.12 ~alu_mem:0.08 ~fp:0.22 ~fp_mul:0.12 ~load:0.22 ~store:0.1
+                 ~branch:0.03 ~branch_cmp:0.0 ~move:0.11 ())
+            ~dep_mean:3.2 ~chain_prob:0.15
+            ~load_groups:[| strided ~weight:0.8 (mb 32); random_in ~weight:0.2 (mb 1) |]
+            ~store_footprint:(mb 8) ~branch_groups:predictable_branches ();
+        ] );
+  ]
+
+let names = List.map fst all
+
+let find name = List.assoc name all
+
+let memory_bound =
+  [ "bwaves"; "GemsFDTD"; "lbm"; "leslie3d"; "libquantum"; "mcf"; "milc"; "omnetpp";
+    "soplex"; "zeusmp" ]
+
+let phased =
+  List.filter_map
+    (fun (name, s) -> if Array.length s.phases > 1 then Some name else None)
+    all
+
+let descriptions =
+  [
+    ("astar", "path finding: branchy pointer chasing into an L2/L3 set, phased");
+    ("bwaves", "FP stencil: long dependence chains over a huge strided grid");
+    ("bzip2", "compression: phased integer work, data-dependent branches");
+    ("cactusADM", "numerical relativity: unique-load heavy, big unrolled loops");
+    ("calculix", "structural mechanics: mixed FP solver/assembly");
+    ("dealII", "finite elements: branchy C++ with medium working sets");
+    ("gamess", "quantum chemistry: compute bound, miss-free baseline");
+    ("gcc", "compiler: big code, branchy, LLC-hit chains, DRAM-heavy phase");
+    ("GemsFDTD", "EM solver: highest uop/instruction ratio, huge strided grid");
+    ("gobmk", "go AI: very unpredictable branches, small data");
+    ("gromacs", "molecular dynamics: load-port limited, predictable");
+    ("h264ref", "video encoder: load-heavy integer work on strided blocks");
+    ("hmmer", "sequence matching: ALU-dominated, L1 resident, predictable");
+    ("lbm", "lattice Boltzmann: streaming loads+stores, lowest uop ratio");
+    ("leslie3d", "fluid dynamics: large strided FP arrays");
+    ("libquantum", "quantum sim: one perfect stride over a huge array");
+    ("mcf", "the canonical pointer chaser: random huge graph, serial misses");
+    ("milc", "lattice QCD: bursty strided DRAM traffic, high MLP");
+    ("namd", "molecular dynamics: wide-ILP compute bound");
+    ("omnetpp", "event simulation: heap churn, branchy pointer chasing");
+    ("perlbench", "interpreter: big code footprint, branchy, L2 resident");
+    ("povray", "ray tracer: FP compute bound, tiny footprint");
+    ("sjeng", "chess: dispatch bound with unpredictable branches");
+    ("soplex", "LP solver: sparse random accesses, DRAM sensitive");
+    ("sphinx3", "speech recognition: large strided FP tables");
+    ("tonto", "quantum chemistry: multiply/divide-heavy FP compute");
+    ("wrf", "weather model: phased FP stencils over large grids");
+    ("xalancbmk", "XML transform: unique-load heavy, big code, very branchy");
+    ("zeusmp", "astrophysics: large strided arrays, moderate chains");
+  ]
+
+let describe name = List.assoc name descriptions

@@ -1,0 +1,26 @@
+(** The synthetic SPEC CPU 2006 stand-in suite.
+
+    29 named workload specifications, one per SPEC CPU 2006 benchmark the
+    paper evaluates, each tuned to reproduce that benchmark's qualitative
+    character: micro-op/instruction ratio (Fig 3.1), dependence-chain
+    lengths (Fig 3.4), dominant dispatch-rate limiter (Fig 3.6), cache
+    MPKI profile (Fig 4.2), stride-category mix (Fig 4.7), branch
+    predictability, and phase behaviour (Fig 6.14). *)
+
+val all : (string * Workload_spec.t) list
+(** All 29 benchmarks, in the paper's (alphabetical) order. *)
+
+val names : string list
+
+val find : string -> Workload_spec.t
+(** Raises [Not_found] for unknown names. *)
+
+val memory_bound : string list
+(** The subset with a dominant DRAM CPI component (mcf, milc, lbm, ...). *)
+
+val phased : string list
+(** Benchmarks whose specs contain more than one phase (Fig 6.14 targets). *)
+
+val describe : string -> string
+(** One-line character sketch of a benchmark (its qualitative role in the
+    evaluation); raises [Not_found] for unknown names. *)

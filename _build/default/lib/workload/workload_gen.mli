@@ -1,0 +1,36 @@
+(** Dynamic micro-op stream generation.
+
+    Expands a {!Workload_spec.t} into a deterministic dynamic micro-op
+    stream.  The stream is regenerable: two generators created with the same
+    spec and seed produce identical streams, so the profiler and the
+    cycle-level simulator can walk the same "execution" without storing a
+    trace.
+
+    Program structure: each phase owns [n_bodies] loop bodies of
+    [body_size] static instructions.  A body executes repeatedly for
+    [body_burst] dynamic instructions, then control moves to the next body;
+    after [phase_length] instructions the next phase begins (phases cycle).
+    Static instruction ids are stable across the whole run, so branch
+    predictors, stride profiles and the prefetcher see recurring static
+    instructions exactly as they would with a real binary. *)
+
+type t
+
+val create : Workload_spec.t -> seed:int -> t
+
+val next_instruction : t -> Isa.uop list
+(** Micro-ops of the next dynamic instruction, in program order. *)
+
+val iter_uops : t -> n_instructions:int -> f:(Isa.uop -> unit) -> unit
+(** Emit the micro-ops of the next [n_instructions] instructions. *)
+
+val skip : t -> n_instructions:int -> unit
+(** Fast-forward the stream without invoking a consumer (still generates,
+    so generator state stays identical to a consumed stream). *)
+
+val instructions_emitted : t -> int
+val uops_emitted : t -> int
+
+val instruction_bytes : int
+(** Static code-address stride: instruction i of the program sits at
+    address [static_id * instruction_bytes] for I-cache simulation. *)

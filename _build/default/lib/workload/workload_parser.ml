@@ -1,0 +1,314 @@
+open Workload_spec
+
+(* ---- Rendering ---- *)
+
+let template_name = function
+  | T_alu -> "alu"
+  | T_alu_mem -> "alu_mem"
+  | T_mul -> "mul"
+  | T_div -> "div"
+  | T_fp -> "fp"
+  | T_fp_mul -> "fp_mul"
+  | T_fp_div -> "fp_div"
+  | T_load -> "load"
+  | T_store -> "store"
+  | T_store2 -> "store2"
+  | T_branch -> "branch"
+  | T_branch_cmp -> "branch_cmp"
+  | T_move -> "move"
+
+let template_of_name = function
+  | "alu" -> Some T_alu
+  | "alu_mem" -> Some T_alu_mem
+  | "mul" -> Some T_mul
+  | "div" -> Some T_div
+  | "fp" -> Some T_fp
+  | "fp_mul" -> Some T_fp_mul
+  | "fp_div" -> Some T_fp_div
+  | "load" -> Some T_load
+  | "store" -> Some T_store
+  | "store2" -> Some T_store2
+  | "branch" -> Some T_branch
+  | "branch_cmp" -> Some T_branch_cmp
+  | "move" -> Some T_move
+  | _ -> None
+
+let size_to_text bytes =
+  if bytes >= 1 lsl 20 && bytes mod (1 lsl 20) = 0 then
+    Printf.sprintf "%dM" (bytes lsr 20)
+  else if bytes >= 1024 && bytes mod 1024 = 0 then Printf.sprintf "%dK" (bytes lsr 10)
+  else string_of_int bytes
+
+let pattern_to_text arr =
+  String.concat ""
+    (Array.to_list (Array.map (fun taken -> if taken then "T" else "F") arr))
+
+let to_text (t : Workload_spec.t) =
+  let buf = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "name %s\n" t.wname;
+  pf "phase_length %d\n" t.phase_length;
+  Array.iter
+    (fun (p : phase) ->
+      pf "\nphase %s\n" p.ph_name;
+      let mix =
+        Array.to_list p.templates
+        |> List.filter (fun (w, _) -> w > 0.0)
+        |> List.map (fun (w, tmpl) -> Printf.sprintf "%s=%h" (template_name tmpl) w)
+      in
+      pf "  mix %s\n" (String.concat " " mix);
+      pf "  dep_prob %h\n" p.dep_prob;
+      pf "  dep_mean %h\n" p.dep_mean;
+      pf "  far_dep_frac %h\n" p.far_dep_frac;
+      pf "  dep2_prob %h\n" p.dep2_prob;
+      pf "  load_dep_prob %h\n" p.load_dep_prob;
+      pf "  chain_prob %h\n" p.chain_prob;
+      pf "  n_chains %d\n" p.n_chains;
+      pf "  body %d bodies %d burst %d\n" p.body_size p.n_bodies p.body_burst;
+      Array.iter
+        (fun g ->
+          match g.lg_pattern with
+          | Fixed_strides strides ->
+            pf "  load stride %s %s %h\n"
+              (String.concat "," (List.map string_of_int strides))
+              (size_to_text g.lg_footprint_bytes)
+              g.lg_weight
+          | Random_in ->
+            pf "  load random %s %h\n" (size_to_text g.lg_footprint_bytes) g.lg_weight
+          | Unique -> pf "  load unique %h\n" g.lg_weight)
+        p.load_groups;
+      pf "  store_footprint %s\n" (size_to_text p.store_footprint_bytes);
+      Array.iter
+        (fun b ->
+          match b.bg_kind with
+          | Loop_every k -> pf "  branch loop %d %h\n" k b.bg_weight
+          | Biased pr -> pf "  branch biased %h %h\n" pr b.bg_weight
+          | Pattern arr ->
+            pf "  branch pattern %s %h\n" (pattern_to_text arr) b.bg_weight)
+        p.branch_groups)
+    t.phases;
+  Buffer.contents buf
+
+(* ---- Parsing ---- *)
+
+exception Parse_error of int * string
+
+let fail line msg = raise (Parse_error (line, msg))
+
+let parse_size line s =
+  let mul, digits =
+    let n = String.length s in
+    if n = 0 then fail line "empty size"
+    else
+      match s.[n - 1] with
+      | 'K' | 'k' -> (1024, String.sub s 0 (n - 1))
+      | 'M' | 'm' -> (1024 * 1024, String.sub s 0 (n - 1))
+      | _ -> (1, s)
+  in
+  match int_of_string_opt digits with
+  | Some v -> v * mul
+  | None -> fail line (Printf.sprintf "bad size %S" s)
+
+let parse_float_tok line s =
+  match float_of_string_opt s with
+  | Some v -> v
+  | None -> fail line (Printf.sprintf "bad number %S" s)
+
+let parse_int_tok line s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> fail line (Printf.sprintf "bad integer %S" s)
+
+let parse_pattern line s =
+  if s = "" then fail line "empty branch pattern";
+  Array.init (String.length s) (fun i ->
+      match s.[i] with
+      | 'T' | 't' -> true
+      | 'F' | 'f' -> false
+      | c -> fail line (Printf.sprintf "bad pattern character %C" c))
+
+type phase_builder = {
+  pb_name : string;
+  mutable pb_phase : phase;
+  mutable pb_loads : load_group list;  (* reversed *)
+  mutable pb_branches : branch_group list;  (* reversed *)
+  mutable pb_mix_set : bool;
+}
+
+let finalize_phase line pb =
+  if not pb.pb_mix_set then fail line (pb.pb_name ^ ": phase has no mix");
+  if pb.pb_loads = [] then fail line (pb.pb_name ^ ": phase has no load groups");
+  if pb.pb_branches = [] then fail line (pb.pb_name ^ ": phase has no branch groups");
+  {
+    pb.pb_phase with
+    ph_name = pb.pb_name;
+    load_groups = Array.of_list (List.rev pb.pb_loads);
+    branch_groups = Array.of_list (List.rev pb.pb_branches);
+  }
+
+let parse text =
+  try
+    let name = ref None in
+    let phase_length = ref 300_000 in
+    let phases = ref [] in
+    let current : phase_builder option ref = ref None in
+    let flush_current line =
+      match !current with
+      | Some pb ->
+        phases := finalize_phase line pb :: !phases;
+        current := None
+      | None -> ()
+    in
+    let lines = String.split_on_char '\n' text in
+    List.iteri
+      (fun idx raw ->
+        let line = idx + 1 in
+        let without_comment =
+          match String.index_opt raw '#' with
+          | Some i -> String.sub raw 0 i
+          | None -> raw
+        in
+        let toks =
+          String.split_on_char ' ' (String.trim without_comment)
+          |> List.filter (fun t -> t <> "")
+        in
+        let in_phase f =
+          match !current with
+          | Some pb -> f pb
+          | None -> fail line "directive outside a phase"
+        in
+        match toks with
+        | [] -> ()
+        | [ "name"; n ] -> name := Some n
+        | [ "phase_length"; n ] -> phase_length := parse_int_tok line n
+        | "phase" :: rest ->
+          flush_current line;
+          let ph_name = match rest with [] -> "main" | n :: _ -> n in
+          current :=
+            Some
+              {
+                pb_name = ph_name;
+                pb_phase = { default_phase with ph_name };
+                pb_loads = [];
+                pb_branches = [];
+                pb_mix_set = false;
+              }
+        | "mix" :: entries ->
+          in_phase (fun pb ->
+              let templates =
+                List.map
+                  (fun entry ->
+                    match String.split_on_char '=' entry with
+                    | [ key; weight ] -> (
+                      match template_of_name key with
+                      | Some tmpl -> (parse_float_tok line weight, tmpl)
+                      | None -> fail line (Printf.sprintf "unknown template %S" key))
+                    | _ -> fail line (Printf.sprintf "bad mix entry %S" entry))
+                  entries
+              in
+              if templates = [] then fail line "empty mix";
+              pb.pb_phase <- { pb.pb_phase with templates = Array.of_list templates };
+              pb.pb_mix_set <- true)
+        | [ "dep_prob"; v ] ->
+          in_phase (fun pb ->
+              pb.pb_phase <- { pb.pb_phase with dep_prob = parse_float_tok line v })
+        | [ "dep_mean"; v ] ->
+          in_phase (fun pb ->
+              pb.pb_phase <- { pb.pb_phase with dep_mean = parse_float_tok line v })
+        | [ "far_dep_frac"; v ] ->
+          in_phase (fun pb ->
+              pb.pb_phase <- { pb.pb_phase with far_dep_frac = parse_float_tok line v })
+        | [ "dep2_prob"; v ] ->
+          in_phase (fun pb ->
+              pb.pb_phase <- { pb.pb_phase with dep2_prob = parse_float_tok line v })
+        | [ "load_dep_prob"; v ] ->
+          in_phase (fun pb ->
+              pb.pb_phase <-
+                { pb.pb_phase with load_dep_prob = parse_float_tok line v })
+        | [ "chain_prob"; v ] ->
+          in_phase (fun pb ->
+              pb.pb_phase <- { pb.pb_phase with chain_prob = parse_float_tok line v })
+        | [ "n_chains"; v ] ->
+          in_phase (fun pb ->
+              pb.pb_phase <- { pb.pb_phase with n_chains = parse_int_tok line v })
+        | [ "body"; size; "bodies"; n; "burst"; burst ] ->
+          in_phase (fun pb ->
+              pb.pb_phase <-
+                {
+                  pb.pb_phase with
+                  body_size = parse_int_tok line size;
+                  n_bodies = parse_int_tok line n;
+                  body_burst = parse_int_tok line burst;
+                })
+        | [ "load"; "stride"; strides; footprint; weight ] ->
+          in_phase (fun pb ->
+              let strides =
+                String.split_on_char ',' strides
+                |> List.map (parse_int_tok line)
+              in
+              pb.pb_loads <-
+                {
+                  lg_weight = parse_float_tok line weight;
+                  lg_pattern = Fixed_strides strides;
+                  lg_footprint_bytes = parse_size line footprint;
+                }
+                :: pb.pb_loads)
+        | [ "load"; "random"; footprint; weight ] ->
+          in_phase (fun pb ->
+              pb.pb_loads <-
+                {
+                  lg_weight = parse_float_tok line weight;
+                  lg_pattern = Random_in;
+                  lg_footprint_bytes = parse_size line footprint;
+                }
+                :: pb.pb_loads)
+        | [ "load"; "unique"; weight ] ->
+          in_phase (fun pb ->
+              pb.pb_loads <-
+                { lg_weight = parse_float_tok line weight; lg_pattern = Unique;
+                  lg_footprint_bytes = 0 }
+                :: pb.pb_loads)
+        | [ "store_footprint"; size ] ->
+          in_phase (fun pb ->
+              pb.pb_phase <-
+                { pb.pb_phase with store_footprint_bytes = parse_size line size })
+        | [ "branch"; "loop"; k; weight ] ->
+          in_phase (fun pb ->
+              pb.pb_branches <-
+                { bg_weight = parse_float_tok line weight;
+                  bg_kind = Loop_every (parse_int_tok line k) }
+                :: pb.pb_branches)
+        | [ "branch"; "biased"; pr; weight ] ->
+          in_phase (fun pb ->
+              pb.pb_branches <-
+                { bg_weight = parse_float_tok line weight;
+                  bg_kind = Biased (parse_float_tok line pr) }
+                :: pb.pb_branches)
+        | [ "branch"; "pattern"; pattern; weight ] ->
+          in_phase (fun pb ->
+              pb.pb_branches <-
+                { bg_weight = parse_float_tok line weight;
+                  bg_kind = Pattern (parse_pattern line pattern) }
+                :: pb.pb_branches)
+        | directive :: _ ->
+          fail line (Printf.sprintf "unknown directive %S" directive))
+      lines;
+    flush_current (List.length lines);
+    let wname = match !name with Some n -> n | None -> fail 1 "missing name" in
+    let spec =
+      { wname; phase_length = !phase_length; phases = Array.of_list (List.rev !phases) }
+    in
+    (match Workload_spec.validate spec with
+    | Ok () -> Ok spec
+    | Error msg -> Error ("invalid spec: " ^ msg))
+  with Parse_error (line, msg) -> Error (Printf.sprintf "line %d: %s" line msg)
+
+let load path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let n = in_channel_length ic in
+        parse (really_input_string ic n))

@@ -1,0 +1,47 @@
+(** Text format for workload specifications.
+
+    The original framework profiles arbitrary binaries; the synthetic
+    substitute's equivalent of "bring your own workload" is this format:
+    users describe a workload's statistical structure in a small text file
+    and feed it to the CLI (`mipp simulate --spec-file ...`) without
+    recompiling.
+
+    Format (one directive per line, [#] starts a comment):
+
+    {v
+    name mybench
+    phase_length 300000
+
+    phase main
+      mix alu=0.30 load=0.22 store=0.08 branch=0.10 move=0.10
+      dep_prob 0.6
+      dep_mean 5.0
+      far_dep_frac 0.3
+      dep2_prob 0.35
+      load_dep_prob 0.10
+      chain_prob 0.10
+      n_chains 4
+      body 512 bodies 1 burst 20000
+      load stride 8 64K 0.6       # pattern, stride list, footprint, weight
+      load random 256K 0.3
+      load unique 0.1
+      store_footprint 32K
+      branch loop 16 0.5          # kind, parameter, weight
+      branch pattern TTFT 0.3
+      branch biased 0.7 0.2
+    v}
+
+    Mix keys are the template names: [alu alu_mem mul div fp fp_mul fp_div
+    load store store2 branch branch_cmp move].  Sizes accept K/M suffixes.
+    A [phase] directive opens a new phase; every phase must declare at
+    least one [load] group and one [branch] group. *)
+
+val parse : string -> (Workload_spec.t, string) result
+(** Parse the format from a string; the error carries a line number. *)
+
+val load : string -> (Workload_spec.t, string) result
+(** Parse a file. *)
+
+val to_text : Workload_spec.t -> string
+(** Render a spec back to the text format; [parse (to_text s)] accepts
+    and yields an equivalent spec. *)

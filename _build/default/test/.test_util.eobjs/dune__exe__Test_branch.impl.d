@@ -1,0 +1,1 @@
+test/test_branch.ml: Alcotest Benchmarks Entropy Entropy_model Float Isa List Predictor Printf QCheck QCheck_alcotest Rng Uarch Workload_gen

@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Cache Hierarchy List QCheck QCheck_alcotest Rng Simulator Stride_prefetcher Uarch Workload_spec

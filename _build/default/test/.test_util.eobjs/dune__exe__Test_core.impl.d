@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Benchmarks Branch_model Dispatch_model Float Interval_model Isa List Llc_chain Mlp_model Multicore_model Printf Profile Profiler QCheck QCheck_alcotest Uarch

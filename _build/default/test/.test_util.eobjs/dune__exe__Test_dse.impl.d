@@ -1,0 +1,1 @@
+test/test_dse.ml: Alcotest Array Benchmarks Empirical Float Gen List Pareto Profiler QCheck QCheck_alcotest Sweep Uarch

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Benchmarks Entropy_model Float Interval_model List Power Printf Profiler Sim_result Simulator Stats Sys Uarch

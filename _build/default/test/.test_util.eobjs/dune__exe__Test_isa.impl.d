@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Float Gen Isa List QCheck QCheck_alcotest

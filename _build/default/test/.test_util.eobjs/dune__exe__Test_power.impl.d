@@ -1,0 +1,1 @@
+test/test_power.ml: Alcotest Array Float Isa List Power Printf QCheck QCheck_alcotest Uarch

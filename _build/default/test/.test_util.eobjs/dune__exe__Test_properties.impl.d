@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Benchmarks Dispatch_model Float Gen Histogram Interval_model Isa Lazy List Mlp_model Pareto Power Profiler QCheck QCheck_alcotest Simulator Uarch Workload_gen

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Benchmarks Float List Printf QCheck QCheck_alcotest Sim_result Simulator Uarch

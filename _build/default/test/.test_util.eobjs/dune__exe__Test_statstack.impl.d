@@ -1,0 +1,1 @@
+test/test_statstack.ml: Alcotest Cache Float Hashtbl Histogram List Printf QCheck QCheck_alcotest Rng Statstack Uarch

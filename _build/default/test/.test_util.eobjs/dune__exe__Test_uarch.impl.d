@@ -1,0 +1,1 @@
+test/test_uarch.ml: Alcotest Isa List Uarch

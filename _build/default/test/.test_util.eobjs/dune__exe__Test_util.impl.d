@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Fit Float Gen Histogram Int_heap List QCheck QCheck_alcotest Rng Stats String Table

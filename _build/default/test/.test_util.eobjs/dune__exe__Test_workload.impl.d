@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Benchmarks Filename Float Hashtbl Isa List Option Printf QCheck QCheck_alcotest String Sys Workload_gen Workload_parser Workload_spec

@@ -1,0 +1,228 @@
+(* Tests for design-space exploration: Pareto analysis, sweeps, the
+   empirical baseline. *)
+
+let pt id d p = { Pareto.pt_id = id; pt_delay = d; pt_power = p }
+
+let test_dominates () =
+  Alcotest.(check bool) "strictly better" true
+    (Pareto.dominates (pt 0 1.0 1.0) (pt 1 2.0 2.0));
+  Alcotest.(check bool) "equal does not dominate" false
+    (Pareto.dominates (pt 0 1.0 1.0) (pt 1 1.0 1.0));
+  Alcotest.(check bool) "better in one, equal other" true
+    (Pareto.dominates (pt 0 1.0 1.0) (pt 1 1.0 2.0));
+  Alcotest.(check bool) "trade-off does not dominate" false
+    (Pareto.dominates (pt 0 1.0 2.0) (pt 1 2.0 1.0))
+
+let test_frontier_basic () =
+  let points =
+    [ pt 0 1.0 5.0; pt 1 2.0 3.0; pt 2 3.0 1.0; pt 3 2.5 4.0; pt 4 3.5 2.0 ]
+  in
+  let front = Pareto.frontier points in
+  Alcotest.(check (list int)) "ids" [ 0; 1; 2 ]
+    (List.map (fun p -> p.Pareto.pt_id) front)
+
+let test_frontier_single_and_empty () =
+  Alcotest.(check int) "empty" 0 (List.length (Pareto.frontier []));
+  Alcotest.(check int) "single" 1 (List.length (Pareto.frontier [ pt 0 1.0 1.0 ]))
+
+let test_frontier_duplicate_coordinates () =
+  let front = Pareto.frontier [ pt 0 1.0 1.0; pt 1 1.0 1.0 ] in
+  Alcotest.(check int) "one of the duplicates" 1 (List.length front)
+
+let test_hypervolume () =
+  (* One point (1,1) against reference (3,3): area 2x2 = 4. *)
+  Alcotest.(check (float 1e-9)) "rectangle" 4.0
+    (Pareto.hypervolume ~reference:(3.0, 3.0) [ pt 0 1.0 1.0 ]);
+  (* Staircase of two points: union of the two dominated rectangles. *)
+  Alcotest.(check (float 1e-9)) "staircase" 3.0
+    (Pareto.hypervolume ~reference:(3.0, 3.0) [ pt 0 1.0 2.0; pt 1 2.0 1.0 ])
+
+let test_quality_perfect_prediction () =
+  let points = [ pt 0 1.0 5.0; pt 1 2.0 3.0; pt 2 3.0 1.0; pt 3 3.0 5.0 ] in
+  let q = Pareto.quality ~truth:points ~predicted:points in
+  Alcotest.(check (float 1e-9)) "sensitivity" 1.0 q.sensitivity;
+  Alcotest.(check (float 1e-9)) "specificity" 1.0 q.specificity;
+  Alcotest.(check (float 1e-9)) "accuracy" 1.0 q.accuracy;
+  Alcotest.(check (float 1e-9)) "hvr" 1.0 q.hvr
+
+let test_quality_with_errors () =
+  let truth = [ pt 0 1.0 5.0; pt 1 2.0 3.0; pt 2 3.0 1.0; pt 3 3.0 5.0 ] in
+  (* prediction swaps point 1 and 3: 3 predicted on front wrongly *)
+  let predicted = [ pt 0 1.0 5.0; pt 1 2.6 4.9; pt 2 3.0 1.0; pt 3 2.0 3.0 ] in
+  let q = Pareto.quality ~truth ~predicted in
+  Alcotest.(check bool) "sensitivity below 1" true (q.sensitivity < 1.0);
+  Alcotest.(check bool) "specificity below 1" true (q.specificity < 1.0);
+  Alcotest.(check bool) "hvr in (0,1]" true (q.hvr > 0.0 && q.hvr <= 1.0)
+
+let test_quality_rejects_mismatched_sets () =
+  Alcotest.check_raises "size mismatch"
+    (Invalid_argument "Pareto.quality: point sets differ in size") (fun () ->
+      ignore (Pareto.quality ~truth:[ pt 0 1.0 1.0 ] ~predicted:[]))
+
+let prop_frontier_sound =
+  QCheck.Test.make ~name:"frontier points are mutually non-dominated and subset"
+    ~count:200
+    QCheck.(small_list (pair (float_range 0.1 10.0) (float_range 0.1 10.0)))
+    (fun coords ->
+      let points = List.mapi (fun i (d, p) -> pt i d p) coords in
+      let front = Pareto.frontier points in
+      let subset =
+        List.for_all
+          (fun f -> List.exists (fun p -> p.Pareto.pt_id = f.Pareto.pt_id) points)
+          front
+      in
+      let non_dominated =
+        List.for_all
+          (fun f -> not (List.exists (fun p -> Pareto.dominates p f) points))
+          front
+      in
+      let complete =
+        List.for_all
+          (fun p ->
+            List.exists (fun f -> f.Pareto.pt_id = p.Pareto.pt_id) front
+            || List.exists (fun q -> Pareto.dominates q p) points)
+          points
+      in
+      subset && non_dominated && complete)
+
+let prop_quality_bounded =
+  QCheck.Test.make ~name:"quality metrics in [0,1]" ~count:100
+    QCheck.(
+      list_of_size (Gen.int_range 2 20)
+        (pair (float_range 0.1 10.0) (float_range 0.1 10.0)))
+    (fun coords ->
+      let truth = List.mapi (fun i (d, p) -> pt i d p) coords in
+      (* predictions: perturbed *)
+      let predicted =
+        List.mapi
+          (fun i (d, p) -> pt i (d *. 1.1) (p *. 0.95))
+          coords
+      in
+      let q = Pareto.quality ~truth ~predicted in
+      q.sensitivity >= 0.0 && q.sensitivity <= 1.0 && q.specificity >= 0.0
+      && q.specificity <= 1.0 && q.accuracy >= 0.0 && q.accuracy <= 1.0
+      && q.hvr >= 0.0 && q.hvr <= 1.0)
+
+(* ---- Sweeps ---- *)
+
+let mini_space = [ Uarch.low_power; Uarch.reference; Uarch.with_rob Uarch.reference 256 ]
+
+let test_model_sweep () =
+  let profile = Profiler.profile (Benchmarks.find "gromacs") ~seed:1
+      ~n_instructions:20_000 in
+  let evals = Sweep.model_sweep ~profile mini_space in
+  Alcotest.(check int) "one eval per config" 3 (List.length evals);
+  List.iteri
+    (fun i (e : Sweep.eval) ->
+      Alcotest.(check int) "index" i e.sw_index;
+      Alcotest.(check bool) "cpi positive" true (e.sw_cpi > 0.0);
+      Alcotest.(check bool) "watts positive" true (e.sw_watts > 0.0);
+      Alcotest.(check bool) "ed2p positive" true (e.sw_ed2p > 0.0))
+    evals;
+  (* low-power design is slower (narrower + lower clock) *)
+  let lp = List.nth evals 0 and ref_ = List.nth evals 1 in
+  Alcotest.(check bool) "low power slower" true (lp.sw_seconds > ref_.sw_seconds);
+  Alcotest.(check bool) "low power cooler" true (lp.sw_watts < ref_.sw_watts)
+
+let test_sim_sweep_agrees_in_direction () =
+  let spec = Benchmarks.find "gromacs" in
+  let sims = Sweep.sim_sweep ~spec ~seed:1 ~n_instructions:10_000 mini_space in
+  let lp = List.nth sims 0 and ref_ = List.nth sims 1 in
+  Alcotest.(check bool) "low power slower (sim)" true (lp.sw_seconds > ref_.sw_seconds);
+  Alcotest.(check bool) "low power cooler (sim)" true (lp.sw_watts < ref_.sw_watts)
+
+let test_pareto_points_roundtrip () =
+  let profile = Profiler.profile (Benchmarks.find "namd") ~seed:1
+      ~n_instructions:20_000 in
+  let evals = Sweep.model_sweep ~profile mini_space in
+  let pts = Sweep.pareto_points evals in
+  Alcotest.(check int) "all points" 3 (List.length pts);
+  List.iter2
+    (fun (e : Sweep.eval) (p : Pareto.point) ->
+      Alcotest.(check int) "id matches" e.sw_index p.pt_id;
+      Alcotest.(check (float 1e-12)) "delay = seconds" e.sw_seconds p.pt_delay)
+    evals pts
+
+let test_best_under_power () =
+  let profile = Profiler.profile (Benchmarks.find "povray") ~seed:1
+      ~n_instructions:20_000 in
+  let evals = Sweep.model_sweep ~profile mini_space in
+  (match Sweep.best_under_power evals ~budget_watts:1e9 with
+  | None -> Alcotest.fail "unconstrained pick missing"
+  | Some best ->
+    List.iter
+      (fun (e : Sweep.eval) ->
+        Alcotest.(check bool) "fastest overall" true
+          (best.sw_seconds <= e.sw_seconds))
+      evals);
+  match Sweep.best_under_power evals ~budget_watts:0.0 with
+  | None -> ()
+  | Some _ -> Alcotest.fail "impossible budget should yield none"
+
+(* ---- Empirical baseline ---- *)
+
+let test_empirical_fits_training_data () =
+  (* Synthetic ground truth that IS linear in the features: the model must
+     recover it. *)
+  let rows =
+    List.filteri (fun i _ -> i mod 9 = 0) Uarch.design_space
+    |> List.map (fun (u : Uarch.t) ->
+           let f = Empirical.features u in
+           let cpi = 0.5 +. (0.1 *. f.(0)) +. (0.02 *. f.(2)) in
+           let watts = 3.0 +. (2.0 *. f.(0)) +. (0.5 *. f.(4)) in
+           (u, cpi, watts))
+  in
+  let m = Empirical.train rows in
+  List.iter
+    (fun (u, cpi, watts) ->
+      let pc, pw = Empirical.predict m u in
+      Alcotest.(check bool) "cpi recovered" true (Float.abs (pc -. cpi) < 1e-6);
+      Alcotest.(check bool) "watts recovered" true (Float.abs (pw -. watts) < 1e-6))
+    rows
+
+let test_empirical_rejects_tiny_training () =
+  Alcotest.check_raises "too few rows"
+    (Invalid_argument "Empirical.train: need at least 9 training rows") (fun () ->
+      ignore (Empirical.train [ (Uarch.reference, 1.0, 10.0) ]))
+
+let test_empirical_features_shape () =
+  let f = Empirical.features Uarch.reference in
+  Alcotest.(check int) "seven features" 7 (Array.length f);
+  Alcotest.(check (float 1e-9)) "width" 4.0 f.(0);
+  Alcotest.(check (float 1e-9)) "log2 rob" 7.0 f.(1)
+
+let () =
+  Alcotest.run "dse"
+    [
+      ( "pareto",
+        [
+          Alcotest.test_case "dominates" `Quick test_dominates;
+          Alcotest.test_case "frontier" `Quick test_frontier_basic;
+          Alcotest.test_case "frontier edge cases" `Quick
+            test_frontier_single_and_empty;
+          Alcotest.test_case "duplicates" `Quick test_frontier_duplicate_coordinates;
+          Alcotest.test_case "hypervolume" `Quick test_hypervolume;
+          Alcotest.test_case "perfect quality" `Quick test_quality_perfect_prediction;
+          Alcotest.test_case "imperfect quality" `Quick test_quality_with_errors;
+          Alcotest.test_case "mismatched sets" `Quick
+            test_quality_rejects_mismatched_sets;
+          QCheck_alcotest.to_alcotest prop_frontier_sound;
+          QCheck_alcotest.to_alcotest prop_quality_bounded;
+        ] );
+      ( "sweep",
+        [
+          Alcotest.test_case "model sweep" `Quick test_model_sweep;
+          Alcotest.test_case "sim sweep direction" `Quick
+            test_sim_sweep_agrees_in_direction;
+          Alcotest.test_case "pareto points" `Quick test_pareto_points_roundtrip;
+          Alcotest.test_case "best under power" `Quick test_best_under_power;
+        ] );
+      ( "empirical",
+        [
+          Alcotest.test_case "fits training data" `Quick
+            test_empirical_fits_training_data;
+          Alcotest.test_case "rejects tiny training" `Quick
+            test_empirical_rejects_tiny_training;
+          Alcotest.test_case "features" `Quick test_empirical_features_shape;
+        ] );
+    ]

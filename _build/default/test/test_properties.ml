@@ -1,0 +1,231 @@
+(* Cross-cutting property tests: conservation laws and monotonicities the
+   model and its substrates must satisfy on arbitrary inputs. *)
+
+let mix entries =
+  let c = Isa.Class_counts.create () in
+  List.iter (fun (cls, n) -> Isa.Class_counts.add c cls n) entries;
+  c
+
+(* ---- Port schedule conservation ---- *)
+
+let prop_port_schedule_conserves_activity =
+  QCheck.Test.make ~name:"greedy port schedule conserves total activity" ~count:200
+    QCheck.(
+      quad (int_range 0 200) (int_range 0 200) (int_range 0 100) (int_range 0 100))
+    (fun (alu, load, store, branch) ->
+      let m =
+        mix
+          [ (Isa.Int_alu, alu); (Isa.Load, load); (Isa.Store, store);
+            (Isa.Branch, branch) ]
+      in
+      let activity = Dispatch_model.port_schedule Uarch.reference ~mix:m in
+      let scheduled = Array.fold_left ( +. ) 0.0 activity in
+      Float.abs (scheduled -. float_of_int (alu + load + store + branch)) < 1e-6)
+
+let prop_port_schedule_nonnegative =
+  QCheck.Test.make ~name:"port activity never negative" ~count:200
+    QCheck.(pair (int_range 0 500) (int_range 0 500))
+    (fun (a, b) ->
+      let m = mix [ (Isa.Fp_mul, a); (Isa.Move, b) ] in
+      let activity = Dispatch_model.port_schedule Uarch.reference ~mix:m in
+      Array.for_all (fun v -> v >= -1e-9) activity)
+
+(* ---- Histogram replay ---- *)
+
+let prop_replayer_reproduces_counts =
+  QCheck.Test.make ~name:"histogram replayer reproduces exact counts per cycle"
+    ~count:100
+    QCheck.(small_list (pair (int_range (-50) 50) (int_range 1 10)))
+    (fun entries ->
+      QCheck.assume (entries <> []);
+      let h = Histogram.create () in
+      List.iter (fun (k, c) -> Histogram.add h ~count:c k) entries;
+      let total = Histogram.total h in
+      let replay = Mlp_model.histogram_replayer h in
+      let seen = Histogram.create () in
+      for _ = 1 to total do
+        Histogram.add seen (replay ())
+      done;
+      Histogram.to_sorted_list seen = Histogram.to_sorted_list h)
+
+(* ---- Model monotonicities ---- *)
+
+let shared_profile =
+  lazy (Profiler.profile (Benchmarks.find "sphinx3") ~seed:3 ~n_instructions:40_000)
+
+let predict config =
+  Interval_model.predict config (Lazy.force shared_profile)
+
+let prop_wider_dispatch_never_hurts =
+  QCheck.Test.make ~name:"model: wider dispatch does not increase cycles" ~count:20
+    QCheck.(int_range 1 3)
+    (fun w ->
+      let narrow =
+        { Uarch.reference with
+          core = { Uarch.reference.core with dispatch_width = w } }
+      in
+      let wide =
+        { Uarch.reference with
+          core = { Uarch.reference.core with dispatch_width = w + 1 } }
+      in
+      (predict wide).pr_cycles <= (predict narrow).pr_cycles +. 1.0)
+
+let prop_larger_llc_never_more_misses =
+  QCheck.Test.make ~name:"model: larger LLC never predicts more LLC misses"
+    ~count:20
+    QCheck.(int_range 1 6)
+    (fun mb ->
+      let with_l3 size_mb =
+        { Uarch.reference with
+          caches =
+            { Uarch.reference.caches with
+              l3 = { Uarch.reference.caches.l3 with
+                     size_bytes = size_mb * 1024 * 1024 } } }
+      in
+      let _, _, small = (predict (with_l3 mb)).pr_load_misses in
+      let _, _, big = (predict (with_l3 (2 * mb))).pr_load_misses in
+      big <= small +. 1e-6)
+
+let prop_faster_memory_never_slower =
+  QCheck.Test.make ~name:"model: lower DRAM latency does not increase cycles"
+    ~count:20
+    QCheck.(int_range 50 300)
+    (fun lat ->
+      let with_lat dram_latency =
+        { Uarch.reference with
+          memory = { Uarch.reference.memory with dram_latency } }
+      in
+      (predict (with_lat lat)).pr_cycles
+      <= (predict (with_lat (lat + 100))).pr_cycles +. 1.0)
+
+let prop_component_toggles_only_reduce =
+  QCheck.Test.make
+    ~name:"model: disabling a penalty component never increases cycles" ~count:10
+    QCheck.(int_range 0 3)
+    (fun which ->
+      let base = Interval_model.default_options in
+      let toggled =
+        match which with
+        | 0 -> { base with model_mlp = false }
+        | 1 -> { base with model_bus = false }
+        | 2 -> { base with model_llc_chain = false }
+        | _ -> { base with model_mshr = false }
+      in
+      let full = Interval_model.predict ~options:base Uarch.reference
+          (Lazy.force shared_profile) in
+      let off = Interval_model.predict ~options:toggled Uarch.reference
+          (Lazy.force shared_profile) in
+      match which with
+      (* dropping MLP serializes misses: cycles can only grow *)
+      | 0 -> off.pr_cycles >= full.pr_cycles -. 1.0
+      (* dropping MSHR cap raises MLP: cycles can only shrink *)
+      | 3 -> off.pr_cycles <= full.pr_cycles +. 1.0
+      (* dropping bus/chaining removes penalties: cycles can only shrink *)
+      | _ -> off.pr_cycles <= full.pr_cycles +. 1.0)
+
+(* ---- Simulator conservation ---- *)
+
+let prop_sim_uops_conserved =
+  QCheck.Test.make ~name:"simulator commits exactly the generated micro-ops"
+    ~count:10
+    QCheck.(int_range 1 100)
+    (fun seed ->
+      let spec = Benchmarks.find "calculix" in
+      let n = 5_000 in
+      let gen = Workload_gen.create spec ~seed in
+      Workload_gen.skip gen ~n_instructions:n;
+      let expected = Workload_gen.uops_emitted gen in
+      let r = Simulator.run Uarch.reference spec ~seed ~n_instructions:n in
+      r.r_uops = expected && r.r_instructions = n)
+
+let prop_sim_misses_bounded_by_accesses =
+  QCheck.Test.make ~name:"simulator misses bounded by accesses at each level"
+    ~count:8
+    QCheck.(int_range 1 50)
+    (fun seed ->
+      let r =
+        Simulator.run Uarch.reference (Benchmarks.find "soplex") ~seed
+          ~n_instructions:5_000
+      in
+      r.r_l1d.load_misses + r.r_l1d.store_misses <= r.r_l1d.accesses
+      && r.r_l2.load_misses + r.r_l2.store_misses <= r.r_l2.accesses
+      && r.r_l3.load_misses + r.r_l3.store_misses <= r.r_l3.accesses
+      && r.r_branch_mispredicts <= r.r_branches)
+
+(* ---- Pareto hypervolume ---- *)
+
+let point_gen =
+  QCheck.Gen.(
+    map2
+      (fun d p -> (d, p))
+      (float_range 0.1 10.0) (float_range 0.1 10.0))
+
+let prop_hypervolume_monotone_under_points =
+  QCheck.Test.make ~name:"adding a point never shrinks the hypervolume" ~count:200
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 15) (make point_gen))
+        (make point_gen))
+    (fun (coords, (d, p)) ->
+      let mk i (dd, pp) = { Pareto.pt_id = i; pt_delay = dd; pt_power = pp } in
+      let points = List.mapi mk coords in
+      let extra = mk 999 (d, p) in
+      let reference = (11.0, 11.0) in
+      Pareto.hypervolume ~reference (extra :: points)
+      >= Pareto.hypervolume ~reference points -. 1e-9)
+
+let prop_frontier_hypervolume_equals_full_set =
+  QCheck.Test.make ~name:"frontier carries the whole hypervolume" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 15) (make point_gen))
+    (fun coords ->
+      let points =
+        List.mapi
+          (fun i (d, p) -> { Pareto.pt_id = i; pt_delay = d; pt_power = p })
+          coords
+      in
+      let reference = (11.0, 11.0) in
+      Float.abs
+        (Pareto.hypervolume ~reference points
+        -. Pareto.hypervolume ~reference (Pareto.frontier points))
+      < 1e-9)
+
+(* ---- Power model ---- *)
+
+let prop_energy_scales_with_time =
+  QCheck.Test.make ~name:"energy = power x time exactly" ~count:100
+    QCheck.(float_range 1e3 1e9)
+    (fun cycles ->
+      let a = { Power.zero_activity with a_cycles = cycles; a_uops = cycles } in
+      let b = Power.estimate Uarch.reference a in
+      let e = Power.energy_joules Uarch.reference b ~cycles in
+      let t = Power.seconds_of_cycles Uarch.reference cycles in
+      Float.abs (e -. (b.total_watts *. t)) < 1e-9 *. Float.max 1.0 e)
+
+let () =
+  Alcotest.run "properties"
+    [
+      ( "dispatch",
+        [
+          QCheck_alcotest.to_alcotest prop_port_schedule_conserves_activity;
+          QCheck_alcotest.to_alcotest prop_port_schedule_nonnegative;
+        ] );
+      ("replay", [ QCheck_alcotest.to_alcotest prop_replayer_reproduces_counts ]);
+      ( "model_monotonicity",
+        [
+          QCheck_alcotest.to_alcotest prop_wider_dispatch_never_hurts;
+          QCheck_alcotest.to_alcotest prop_larger_llc_never_more_misses;
+          QCheck_alcotest.to_alcotest prop_faster_memory_never_slower;
+          QCheck_alcotest.to_alcotest prop_component_toggles_only_reduce;
+        ] );
+      ( "simulator",
+        [
+          QCheck_alcotest.to_alcotest prop_sim_uops_conserved;
+          QCheck_alcotest.to_alcotest prop_sim_misses_bounded_by_accesses;
+        ] );
+      ( "pareto",
+        [
+          QCheck_alcotest.to_alcotest prop_hypervolume_monotone_under_points;
+          QCheck_alcotest.to_alcotest prop_frontier_hypervolume_equals_full_set;
+        ] );
+      ("power", [ QCheck_alcotest.to_alcotest prop_energy_scales_with_time ]);
+    ]

@@ -1,0 +1,131 @@
+(* Tests for micro-architecture configurations. *)
+
+let test_reference_matches_table_6_1 () =
+  let u = Uarch.reference in
+  Alcotest.(check int) "dispatch width" 4 u.core.dispatch_width;
+  Alcotest.(check int) "ROB" 128 u.core.rob_size;
+  Alcotest.(check int) "L1D 32KB" (32 * 1024) u.caches.l1d.size_bytes;
+  Alcotest.(check int) "L2 256KB" (256 * 1024) u.caches.l2.size_bytes;
+  Alcotest.(check int) "L3 8MB" (8 * 1024 * 1024) u.caches.l3.size_bytes;
+  Alcotest.(check int) "MSHRs" 10 u.core.mshr_entries;
+  Alcotest.(check (float 1e-9)) "2.66 GHz" 2.66 u.operating_point.freq_ghz
+
+let test_design_space_size () =
+  Alcotest.(check int) "243 points" 243 (List.length Uarch.design_space)
+
+let test_design_space_unique_names () =
+  let names = List.map (fun (u : Uarch.t) -> u.name) Uarch.design_space in
+  Alcotest.(check int) "unique" 243 (List.length (List.sort_uniq compare names))
+
+let test_design_space_axes () =
+  Alcotest.(check int) "five axes" 5 (List.length Uarch.design_space_axes);
+  List.iter
+    (fun (_, values) -> Alcotest.(check int) "three values" 3 (List.length values))
+    Uarch.design_space_axes
+
+let test_design_space_covers_reference_shape () =
+  (* Some design point matches the reference's width/ROB/cache sizes. *)
+  let matches (u : Uarch.t) =
+    u.core.dispatch_width = 4 && u.core.rob_size = 128
+    && u.caches.l1d.size_bytes = 32 * 1024
+    && u.caches.l2.size_bytes = 256 * 1024
+    && u.caches.l3.size_bytes = 8 * 1024 * 1024
+  in
+  Alcotest.(check bool) "reference shape present" true
+    (List.exists matches Uarch.design_space)
+
+let test_functional_units_cover_all_classes () =
+  List.iter
+    (fun (u : Uarch.t) ->
+      List.iter
+        (fun cls ->
+          let fu = Uarch.functional_unit_for u.core cls in
+          Alcotest.(check bool) "has units" true (fu.unit_count >= 1);
+          Alcotest.(check bool) "has ports" true (fu.usable_ports <> []);
+          List.iter
+            (fun p ->
+              Alcotest.(check bool) "port in range" true (p >= 0 && p < u.core.n_ports))
+            fu.usable_ports)
+        Isa.all_classes)
+    (Uarch.reference :: Uarch.low_power :: Uarch.design_space)
+
+let test_non_pipelined_units () =
+  let div = Uarch.functional_unit_for Uarch.reference.core Isa.Int_div in
+  Alcotest.(check bool) "divider not pipelined" false div.pipelined;
+  let alu = Uarch.functional_unit_for Uarch.reference.core Isa.Int_alu in
+  Alcotest.(check bool) "alu pipelined" true alu.pipelined
+
+let test_uop_latency () =
+  let u = Uarch.reference in
+  Alcotest.(check int) "load = L1D latency" u.caches.l1d.latency
+    (Uarch.uop_latency u Isa.Load);
+  Alcotest.(check int) "alu 1 cycle" 1 (Uarch.uop_latency u Isa.Int_alu);
+  Alcotest.(check bool) "div slow" true (Uarch.uop_latency u Isa.Int_div > 10)
+
+let test_with_dvfs () =
+  let u = Uarch.with_dvfs Uarch.reference ~freq_ghz:2.0 ~vdd:0.82 in
+  Alcotest.(check (float 1e-9)) "freq" 2.0 u.operating_point.freq_ghz;
+  Alcotest.(check (float 1e-9)) "vdd" 0.82 u.operating_point.vdd;
+  (* other parameters untouched *)
+  Alcotest.(check int) "rob unchanged" 128 u.core.rob_size
+
+let test_dvfs_points_sorted () =
+  let freqs = List.map fst Uarch.dvfs_points in
+  Alcotest.(check (list (float 1e-9))) "ascending" (List.sort compare freqs) freqs;
+  (* higher frequency needs at least as much voltage *)
+  let vs = List.map snd Uarch.dvfs_points in
+  Alcotest.(check (list (float 1e-9))) "voltage ascending" (List.sort compare vs) vs
+
+let test_with_rob () =
+  let u = Uarch.with_rob Uarch.reference 256 in
+  Alcotest.(check int) "rob" 256 u.core.rob_size;
+  Alcotest.(check int) "iq scales" 128 u.core.issue_queue_size
+
+let test_with_prefetcher_predictor () =
+  let u = Uarch.with_prefetcher Uarch.reference true in
+  Alcotest.(check bool) "enabled" true u.prefetcher.pf_enabled;
+  let u = Uarch.with_predictor Uarch.reference Uarch.Gshare in
+  Alcotest.(check bool) "kind" true (u.predictor.kind = Uarch.Gshare)
+
+let test_rob_fill_time () =
+  Alcotest.(check (float 1e-9)) "128/4" 32.0 (Uarch.rob_fill_time Uarch.reference)
+
+let test_describe_covers_key_fields () =
+  let d = Uarch.describe Uarch.reference in
+  List.iter
+    (fun key ->
+      Alcotest.(check bool) (key ^ " present") true (List.mem_assoc key d))
+    [ "dispatch width"; "ROB size"; "L1D"; "L2"; "L3"; "frequency"; "MSHR entries" ]
+
+let test_predictor_kinds () =
+  Alcotest.(check int) "five kinds" 5 (List.length Uarch.all_predictor_kinds);
+  let names = List.map Uarch.predictor_kind_to_string Uarch.all_predictor_kinds in
+  Alcotest.(check int) "unique" 5 (List.length (List.sort_uniq compare names))
+
+let () =
+  Alcotest.run "uarch"
+    [
+      ( "configs",
+        [
+          Alcotest.test_case "reference Table 6.1" `Quick
+            test_reference_matches_table_6_1;
+          Alcotest.test_case "design space 243" `Quick test_design_space_size;
+          Alcotest.test_case "design space unique" `Quick
+            test_design_space_unique_names;
+          Alcotest.test_case "design space axes" `Quick test_design_space_axes;
+          Alcotest.test_case "reference shape in space" `Quick
+            test_design_space_covers_reference_shape;
+          Alcotest.test_case "FUs cover classes" `Quick
+            test_functional_units_cover_all_classes;
+          Alcotest.test_case "non-pipelined units" `Quick test_non_pipelined_units;
+          Alcotest.test_case "uop latency" `Quick test_uop_latency;
+          Alcotest.test_case "with_dvfs" `Quick test_with_dvfs;
+          Alcotest.test_case "dvfs points" `Quick test_dvfs_points_sorted;
+          Alcotest.test_case "with_rob" `Quick test_with_rob;
+          Alcotest.test_case "prefetcher/predictor toggles" `Quick
+            test_with_prefetcher_predictor;
+          Alcotest.test_case "rob fill time" `Quick test_rob_fill_time;
+          Alcotest.test_case "describe" `Quick test_describe_covers_key_fields;
+          Alcotest.test_case "predictor kinds" `Quick test_predictor_kinds;
+        ] );
+    ]
