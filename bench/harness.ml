@@ -10,6 +10,9 @@ let n_space = 60_000
 
 let all_benchmarks = Benchmarks.names
 
+(* Worker domains for the design-space sweeps below. *)
+let jobs = Parallel.default_jobs ()
+
 (* ---- Trained entropy model (Fig 3.8 workflow) ---- *)
 
 let entropy_model_for =
@@ -99,8 +102,9 @@ let space_result name =
       {
         sp_bench = name;
         sp_model =
-          Sweep.model_sweep ~options:(model_options ()) ~profile sim_subspace;
-        sp_sim = Sweep.sim_sweep ~spec ~seed ~n_instructions:n_space sim_subspace;
+          Sweep.model_sweep ~options:(model_options ()) ~jobs ~profile sim_subspace;
+        sp_sim =
+          Sweep.sim_sweep ~jobs ~spec ~seed ~n_instructions:n_space sim_subspace;
       }
     in
     Hashtbl.replace space_cache name r;

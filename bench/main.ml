@@ -1262,6 +1262,94 @@ let speedup () =
       (sim_1b /. model_1b)
   | _ -> print_endline "bechamel did not produce estimates for all tests")
 
+(* ================= DSE sweep engine (this repo's scaling work) ========= *)
+
+let dse_sweep () =
+  Table.section
+    "DSE sweep engine — memoized StatStack structures + Domain-parallel map";
+  let bench = "gcc" in
+  let configs = Uarch.design_space in
+  let n_configs = List.length configs in
+  let options = Harness.model_options () in
+  let profile =
+    Profiler.profile (Benchmarks.find bench) ~seed:Harness.seed
+      ~n_instructions:Harness.n_space
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  (* Seed behavior: every predict call rebuilt the survival structures
+     from the reuse histograms.  Reproduced by dropping the memo before
+     each evaluation. *)
+  let (_ : unit), rebuild_s =
+    time (fun () ->
+        List.iter
+          (fun u ->
+            Profile.clear_stack_memo ();
+            ignore (Interval_model.predict ~options u profile))
+          configs)
+  in
+  Profile.clear_stack_memo ();
+  let c0 = Statstack.construction_count () in
+  let seq, seq_s = time (fun () -> Sweep.model_sweep ~options ~jobs:1 ~profile configs) in
+  let built_seq = Statstack.construction_count () - c0 in
+  Profile.clear_stack_memo ();
+  let jobs = 4 in
+  let par, par_s =
+    time (fun () -> Sweep.model_sweep ~options ~jobs ~profile configs)
+  in
+  let identical = List.for_all2 (fun a b -> compare a b = 0) seq par in
+  let memo_speedup = rebuild_s /. seq_s in
+  let parallel_speedup = seq_s /. par_s in
+  let pps s = float_of_int n_configs /. s in
+  Table.print ~header:[ "variant"; "seconds"; "points/sec"; "speedup" ]
+    ~rows:
+      [
+        [ "rebuild per config (seed behavior)"; Table.fmt_f ~decimals:3 rebuild_s;
+          Table.fmt_f ~decimals:0 (pps rebuild_s); "1.00" ];
+        [ "memoized, jobs=1"; Table.fmt_f ~decimals:3 seq_s;
+          Table.fmt_f ~decimals:0 (pps seq_s);
+          Table.fmt_f ~decimals:2 memo_speedup ];
+        [ Printf.sprintf "memoized, jobs=%d" jobs;
+          Table.fmt_f ~decimals:3 par_s; Table.fmt_f ~decimals:0 (pps par_s);
+          Table.fmt_f ~decimals:2 (rebuild_s /. par_s) ];
+      ];
+  Printf.printf
+    "%d-config sweep of %s: parallel results bit-identical to sequential: %b\n\
+     StatStack structures built during the sweep: %d (= per-profile, \
+     independent of the %d configs)\n\
+     cores available to this process: %d (parallel speedup is bounded by \
+     this)\n"
+    n_configs bench identical built_seq n_configs
+    (Domain.recommended_domain_count ());
+  (* Machine-readable trajectory for future PRs. *)
+  let oc = open_out "BENCH_sweep.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": %S,\n\
+    \  \"configs\": %d,\n\
+    \  \"jobs\": %d,\n\
+    \  \"cores_available\": %d,\n\
+    \  \"rebuild_seconds\": %.6f,\n\
+    \  \"seq_seconds\": %.6f,\n\
+    \  \"par_seconds\": %.6f,\n\
+    \  \"points_per_sec_seq\": %.1f,\n\
+    \  \"points_per_sec_par\": %.1f,\n\
+    \  \"memo_speedup\": %.3f,\n\
+    \  \"parallel_speedup\": %.3f,\n\
+    \  \"total_speedup\": %.3f,\n\
+    \  \"bit_identical\": %b,\n\
+    \  \"stacks_built_per_sweep\": %d\n\
+     }\n"
+    bench n_configs jobs
+    (Domain.recommended_domain_count ())
+    rebuild_s seq_s par_s (pps seq_s) (pps par_s) memo_speedup parallel_speedup
+    (rebuild_s /. par_s) identical built_seq;
+  close_out oc;
+  print_endline "wrote BENCH_sweep.json"
+
 (* ================= Driver ================= *)
 
 let experiments =
@@ -1301,6 +1389,7 @@ let experiments =
     ("multicore", "multi-core sharing extension", multicore);
     ("prefetchers", "next-line vs stride prefetcher (sim)", prefetchers);
     ("speedup", "model vs simulation throughput", speedup);
+    ("dse_sweep", "parallel sweep engine + StatStack memoization", dse_sweep);
   ]
 
 let () =

@@ -33,6 +33,16 @@ let prefetch_arg =
   let doc = "Enable the stride prefetcher." in
   Arg.(value & flag & info [ "prefetch" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the design-space sweep (1 = sequential; results are \
+     bit-identical for any value)."
+  in
+  Arg.(
+    value
+    & opt int (Parallel.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"JOBS" ~doc)
+
 let output_arg =
   let doc = "Write the profile to this file (AIP-style: profile once, model many)." in
   Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
@@ -358,16 +368,16 @@ let multicore_cmd =
 (* ---- sweep ---- *)
 
 let sweep_cmd =
-  let run bench n seed =
+  let run bench n seed jobs =
     let spec = find_bench bench in
     let p = Profiler.profile spec ~seed ~n_instructions:n in
     let t0 = Unix.gettimeofday () in
-    let evals = Sweep.model_sweep ~profile:p Uarch.design_space in
+    let evals = Sweep.model_sweep ~jobs ~profile:p Uarch.design_space in
     let dt = Unix.gettimeofday () -. t0 in
     let front = Pareto.frontier (Sweep.pareto_points evals) in
     Table.section
-      (Printf.sprintf "Design-space sweep: %s (%d points in %.2fs)" bench
-         (List.length evals) dt);
+      (Printf.sprintf "Design-space sweep: %s (%d points in %.2fs, %d jobs)" bench
+         (List.length evals) dt jobs);
     Table.print
       ~header:[ "Pareto design"; "time (ms)"; "power (W)"; "CPI" ]
       ~rows:
@@ -383,7 +393,7 @@ let sweep_cmd =
            front)
   in
   Cmd.v (Cmd.info "sweep" ~doc:"Analytical 243-point design-space sweep")
-    Term.(const run $ bench_arg $ instructions_arg $ seed_arg)
+    Term.(const run $ bench_arg $ instructions_arg $ seed_arg $ jobs_arg)
 
 let () =
   let doc = "Micro-architecture independent processor performance & power modeling" in

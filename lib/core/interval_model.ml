@@ -89,18 +89,15 @@ let dram_wait_cpi p =
 
 let lines (lvl : Uarch.cache_level) = max 1 (lvl.size_bytes / lvl.line_bytes)
 
-(* Per-level miss ratios for one reuse histogram (+ cold fraction). *)
-let miss_ratios (u : Uarch.t) hist cold =
-  let ss = Statstack.of_reuse_histogram ~cold_fraction:cold hist in
+(* Per-level data miss ratios from a (config-independent, memoized)
+   survival structure: only the capacity lookups depend on the config. *)
+let data_ratios (u : Uarch.t) ss =
   ( Statstack.miss_ratio ss ~cache_lines:(lines u.caches.l1d),
     Statstack.miss_ratio ss ~cache_lines:(lines u.caches.l2),
     Statstack.miss_ratio ss ~cache_lines:(lines u.caches.l3) )
 
 let inst_miss_ratios (u : Uarch.t) (profile : Profile.t) =
-  let ss =
-    Statstack.of_reuse_histogram ~cold_fraction:profile.p_inst_cold_fraction
-      profile.p_reuse_inst
-  in
+  let ss = Profile.inst_stack profile in
   ( Statstack.miss_ratio ss ~cache_lines:(lines u.caches.l1i),
     Statstack.miss_ratio ss ~cache_lines:(lines u.caches.l2),
     Statstack.miss_ratio ss ~cache_lines:(lines u.caches.l3) )
@@ -129,38 +126,28 @@ type mt_eval = {
 }
 
 let evaluate_microtrace (opts : options) (u : Uarch.t) (profile : Profile.t)
-    ~inst_ratios ~cold_corr (mt : Profile.microtrace) =
+    ~inst_ratios ~cold_corr ~load_stack ~store_stack (mt : Profile.microtrace) =
   let core = u.core in
   let n_uops = float_of_int mt.mt_uops in
   let n_instr = float_of_int mt.mt_instructions in
   let loads = float_of_int (Isa.Class_counts.get mt.mt_mix Isa.Load) in
   let stores = float_of_int (Isa.Class_counts.get mt.mt_mix Isa.Store) in
   let load_fraction = if n_uops = 0.0 then 0.0 else loads /. n_uops in
-  (* ---- Cache miss ratios (per load / per store / per instruction) ---- *)
-  (* Sampled cold counts rescaled to the true whole-stream rate. *)
-  let cold_loads_f = cold_corr *. float_of_int (max 0 (mt.mt_mem_cold - mt.mt_store_cold)) in
-  let cold_stores_f = cold_corr *. float_of_int mt.mt_store_cold in
-  let load_cold =
-    let reused = float_of_int (Histogram.total mt.mt_reuse_load) in
-    if reused +. cold_loads_f <= 0.0 then 0.0
-    else cold_loads_f /. (reused +. cold_loads_f)
-  in
-  let store_cold =
-    let reused = float_of_int (Histogram.total mt.mt_reuse_store) in
-    if reused +. cold_stores_f <= 0.0 then 0.0
-    else cold_stores_f /. (reused +. cold_stores_f)
-  in
+  (* ---- Cache miss ratios (per load / per store / per instruction) ----
+     The survival structures are config-independent (lazy: built at most
+     once per profile, skipped entirely under overrides); only the
+     capacity lookups below depend on [u]. *)
   let m1, m2, m3 =
     monotone
       (match opts.overrides.ov_load_miss_ratios with
       | Some r -> r
-      | None -> miss_ratios u mt.mt_reuse_load load_cold)
+      | None -> data_ratios u (Lazy.force load_stack))
   in
   let _s1, _s2, s3 =
     monotone
       (match opts.overrides.ov_store_miss_ratios with
       | Some r -> r
-      | None -> miss_ratios u mt.mt_reuse_store store_cold)
+      | None -> data_ratios u (Lazy.force store_stack))
   in
   let i1, i2, i3 =
     monotone
@@ -424,13 +411,37 @@ let combined_microtrace (profile : Profile.t) : Profile.microtrace =
 let predict ?(options = default_options) (u : Uarch.t) (profile : Profile.t) =
   let inst_ratios = inst_miss_ratios u profile in
   let cold_corr = Profile.cold_correction profile in
-  let mts =
-    match options.combine with
-    | `Separate -> profile.p_microtraces
-    | `Combined -> [| combined_microtrace profile |]
-  in
   let evals =
-    Array.map (evaluate_microtrace options u profile ~inst_ratios ~cold_corr) mts
+    match options.combine with
+    | `Separate ->
+      (* Memoized per-profile stacks: a sweep over N configs builds each
+         survival structure once, not N times. *)
+      Array.map
+        (fun mt ->
+          evaluate_microtrace options u profile ~inst_ratios ~cold_corr
+            ~load_stack:(lazy (Profile.load_stack profile mt))
+            ~store_stack:(lazy (Profile.store_stack profile mt))
+            mt)
+        profile.p_microtraces
+    | `Combined ->
+      (* The merged micro-trace (and its histograms) is rebuilt per call,
+         so its stacks cannot be memoized by histogram identity — build
+         them directly. *)
+      let mt = combined_microtrace profile in
+      let load_cold = Profile.load_cold_fraction profile mt in
+      let store_cold = Profile.store_cold_fraction profile mt in
+      [|
+        evaluate_microtrace options u profile ~inst_ratios ~cold_corr
+          ~load_stack:
+            (lazy
+              (Statstack.of_reuse_histogram ~cold_fraction:load_cold
+                 mt.mt_reuse_load))
+          ~store_stack:
+            (lazy
+              (Statstack.of_reuse_histogram ~cold_fraction:store_cold
+                 mt.mt_reuse_store))
+          mt;
+      |]
   in
   (* Each micro-trace stands for its whole window. *)
   let scale_of ev =

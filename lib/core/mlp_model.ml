@@ -72,16 +72,22 @@ type vload = {
 
 (* Deterministic replay of a histogram: keys repeated by count, cycled.
    The entry arrays are memoized by histogram id: sweeps replay the same
-   frozen distributions once per design point. *)
+   frozen distributions once per design point.  Mutex-protected: sweeps
+   evaluate design points on parallel domains. *)
 let replay_memo : (int, (int * int) array) Hashtbl.t = Hashtbl.create 4096
+let replay_memo_mutex = Mutex.create ()
 
 let histogram_replayer h =
   let entries =
-    match Hashtbl.find_opt replay_memo (Histogram.id h) with
+    match
+      Mutex.protect replay_memo_mutex (fun () ->
+          Hashtbl.find_opt replay_memo (Histogram.id h))
+    with
     | Some e -> e
     | None ->
       let e = Array.of_list (Histogram.to_sorted_list h) in
-      Hashtbl.replace replay_memo (Histogram.id h) e;
+      Mutex.protect replay_memo_mutex (fun () ->
+          Hashtbl.replace replay_memo (Histogram.id h) e);
       e
   in
   if Array.length entries = 0 then fun () -> 0

@@ -32,14 +32,22 @@ let of_sim config ~index (r : Sim_result.t) =
   make config ~index ~cycles:(float_of_int r.r_cycles)
     ~instructions:(float_of_int r.r_instructions) ~activity:r.r_activity
 
-let model_sweep ?(options = Interval_model.default_options) ~profile configs =
-  List.mapi
+let model_sweep ?(options = Interval_model.default_options) ?(jobs = 1) ~profile
+    configs =
+  (* Build every config-independent StatStack structure once, before the
+     fan-out: the worker domains then only read the memo tables, and the
+     per-static-load lazies are already forced (a racing first force
+     would raise [Lazy.Undefined]). *)
+  (match options.combine with
+  | `Separate -> Profile.prepare profile
+  | `Combined -> ());
+  Parallel.mapi ~jobs
     (fun index config ->
       of_prediction config ~index (Interval_model.predict ~options config profile))
     configs
 
-let sim_sweep ~spec ~seed ~n_instructions configs =
-  List.mapi
+let sim_sweep ?(jobs = 1) ~spec ~seed ~n_instructions configs =
+  Parallel.mapi ~jobs
     (fun index config ->
       of_sim config ~index (Simulator.run config spec ~seed ~n_instructions))
     configs

@@ -20,14 +20,27 @@ val of_prediction : Uarch.t -> index:int -> Interval_model.prediction -> eval
 val of_sim : Uarch.t -> index:int -> Sim_result.t -> eval
 
 val model_sweep :
-  ?options:Interval_model.options -> profile:Profile.t -> Uarch.t list -> eval list
+  ?options:Interval_model.options ->
+  ?jobs:int ->
+  profile:Profile.t ->
+  Uarch.t list ->
+  eval list
+(** [model_sweep ~jobs ~profile configs] evaluates every design point
+    analytically.  Config-independent StatStack survival structures are
+    built once per profile (not once per config) before the evaluation
+    fans out over [jobs] worker domains ([Parallel.map]); results are in
+    config order and bit-identical for any [jobs].  Default [jobs = 1]
+    (sequential). *)
 
 val sim_sweep :
+  ?jobs:int ->
   spec:Workload_spec.t ->
   seed:int ->
   n_instructions:int ->
   Uarch.t list ->
   eval list
+(** Detailed-simulation counterpart; each design point simulates the
+    workload from the same seed, so results are independent of [jobs]. *)
 
 val pareto_points : eval list -> Pareto.point list
 (** (delay = seconds, power = watts) points for Pareto analysis. *)

@@ -146,3 +146,71 @@ let cold_correction t =
     let exact = float_of_int t.p_data_cold /. float_of_int t.p_data_accesses in
     Float.min 2.0 (exact /. sampled)
   end
+
+(* ---- Memoized StatStack structures (the analysis-phase hot path) ----
+
+   Reuse histograms are frozen once profiling ends and are independent of
+   the micro-architecture, so the survival structure StatStack derives
+   from them is a per-profile artifact: a design-space sweep over N
+   configs must build it once, not N times.  Memoize by histogram
+   identity ([Histogram.id]) plus the cold fraction baked into the
+   structure — the same scheme [static_load.sl_stack] already uses per
+   static load, lifted to the per-microtrace and per-profile histograms.
+
+   The table is mutex-protected: [Sweep.model_sweep] evaluates design
+   points on parallel domains.  Sweeps also pre-build every entry
+   ([prepare]) before fanning out, so workers normally only read. *)
+
+let stack_memo : (int * int64, Statstack.t) Hashtbl.t = Hashtbl.create 256
+let stack_memo_mutex = Mutex.create ()
+
+let memo_stack ?(cold_fraction = 0.0) h =
+  let key = (Histogram.id h, Int64.bits_of_float cold_fraction) in
+  Mutex.protect stack_memo_mutex (fun () ->
+      match Hashtbl.find_opt stack_memo key with
+      | Some ss -> ss
+      | None ->
+        let ss = Statstack.of_reuse_histogram ~cold_fraction h in
+        Hashtbl.add stack_memo key ss;
+        ss)
+
+let clear_stack_memo () =
+  Mutex.protect stack_memo_mutex (fun () -> Hashtbl.reset stack_memo)
+
+(* Sampled cold counts rescaled to the true whole-stream rate; the
+   fraction feeds the StatStack structure and is config-independent. *)
+let load_cold_fraction t (mt : microtrace) =
+  let cold_loads =
+    cold_correction t *. float_of_int (max 0 (mt.mt_mem_cold - mt.mt_store_cold))
+  in
+  let reused = float_of_int (Histogram.total mt.mt_reuse_load) in
+  if reused +. cold_loads <= 0.0 then 0.0 else cold_loads /. (reused +. cold_loads)
+
+let store_cold_fraction t (mt : microtrace) =
+  let cold_stores = cold_correction t *. float_of_int mt.mt_store_cold in
+  let reused = float_of_int (Histogram.total mt.mt_reuse_store) in
+  if reused +. cold_stores <= 0.0 then 0.0
+  else cold_stores /. (reused +. cold_stores)
+
+let load_stack t mt =
+  memo_stack ~cold_fraction:(load_cold_fraction t mt) mt.mt_reuse_load
+
+let store_stack t mt =
+  memo_stack ~cold_fraction:(store_cold_fraction t mt) mt.mt_reuse_store
+
+let inst_stack t =
+  memo_stack ~cold_fraction:t.p_inst_cold_fraction t.p_reuse_inst
+
+let prepare t =
+  ignore (inst_stack t : Statstack.t);
+  Array.iter
+    (fun mt ->
+      ignore (load_stack t mt : Statstack.t);
+      ignore (store_stack t mt : Statstack.t);
+      (* Force the per-static-load lazies too: a first [Lazy.force] racing
+         across domains raises [Lazy.Undefined]; forcing here makes later
+         parallel forces plain reads. *)
+      List.iter
+        (fun sl -> ignore (Lazy.force sl.sl_stack : Statstack.t))
+        mt.mt_static_loads)
+    t.p_microtraces

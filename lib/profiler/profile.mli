@@ -105,3 +105,45 @@ val cold_correction : t -> float
     Sampling can over-represent one-time cold bursts (they cluster at
     micro-trace starts); multiplying sampled cold counts by this factor
     restores the true totals. *)
+
+(** {2 Memoized StatStack structures}
+
+    Reuse histograms are micro-architecture independent and frozen after
+    profiling, so the survival structures StatStack derives from them are
+    per-profile artifacts: a design-space sweep over N configs builds each
+    one once, not N times.  Entries are memoized by histogram identity
+    ([Histogram.id]) and cold fraction, mirroring the per-static-load
+    [sl_stack] lazies; the table is mutex-protected for Domain-parallel
+    sweeps. *)
+
+val memo_stack : ?cold_fraction:float -> Histogram.t -> Statstack.t
+(** [memo_stack ~cold_fraction h] is
+    [Statstack.of_reuse_histogram ~cold_fraction h], built at most once
+    per (histogram, cold fraction): repeated calls return the physically
+    identical structure. *)
+
+val load_cold_fraction : t -> microtrace -> float
+(** Whole-stream-corrected fraction of the micro-trace's load accesses
+    that were first touches of their line (cold). *)
+
+val store_cold_fraction : t -> microtrace -> float
+
+val load_stack : t -> microtrace -> Statstack.t
+(** Memoized StatStack over the micro-trace's load reuse distances with
+    [load_cold_fraction]. *)
+
+val store_stack : t -> microtrace -> Statstack.t
+
+val inst_stack : t -> Statstack.t
+(** Memoized StatStack over the instruction-stream reuse distances. *)
+
+val prepare : t -> unit
+(** Build every config-independent StatStack structure of this profile —
+    the per-microtrace load/store stacks, the instruction stack, and the
+    per-static-load lazies — so that a subsequent Domain-parallel sweep
+    only reads them.  Idempotent; [Sweep.model_sweep] calls it before
+    fanning out. *)
+
+val clear_stack_memo : unit -> unit
+(** Drop all memoized stacks (they are rebuilt on demand).  For tests,
+    benchmarks, and long-lived processes cycling through many profiles. *)

@@ -4,8 +4,10 @@ let cutoffs = [| 0.60; 0.70; 0.80; 0.90 |]
 
 (* Design-space sweeps classify the same static loads once per design
    point; histograms are frozen after profiling, so memoize by histogram
-   id. *)
+   id.  Mutex-protected: sweeps evaluate design points on parallel
+   domains. *)
 let memo : (int * int, category) Hashtbl.t = Hashtbl.create 4096
+let memo_mutex = Mutex.create ()
 
 let dominant_strides (sl : Profile.static_load) =
   let total = Histogram.total sl.sl_strides in
@@ -36,11 +38,11 @@ let classify_uncached (sl : Profile.static_load) =
 
 let classify (sl : Profile.static_load) =
   let key = (Histogram.id sl.sl_strides, sl.sl_count) in
-  match Hashtbl.find_opt memo key with
+  match Mutex.protect memo_mutex (fun () -> Hashtbl.find_opt memo key) with
   | Some c -> c
   | None ->
     let c = classify_uncached sl in
-    Hashtbl.replace memo key c;
+    Mutex.protect memo_mutex (fun () -> Hashtbl.replace memo key c);
     c
 
 let fig_label (sl : Profile.static_load) =

@@ -19,9 +19,15 @@ type t = {
   prefix : float array;  (* prefix.(i) = sum_{j=0}^{starts.(i)-1} S(j) *)
 }
 
+(* Atomic so parallel sweeps count correctly; tests use the counter to
+   assert that memoized survival structures are built exactly once. *)
+let constructions = Atomic.make 0
+let construction_count () = Atomic.get constructions
+
 let of_reuse_histogram ?(cold_fraction = 0.0) h =
   if cold_fraction < 0.0 || cold_fraction > 1.0 then
     invalid_arg "Statstack.of_reuse_histogram: cold_fraction out of range";
+  Atomic.incr constructions;
   let entries = Histogram.to_sorted_list h in
   List.iter
     (fun (k, _) ->
@@ -73,7 +79,12 @@ let miss_ratio t ~cache_lines =
   else begin
     let capacity = float_of_int cache_lines in
     (* Largest reuse distance in the profile bounds the search: beyond it
-       the expected stack distance stops growing. *)
+       the expected stack distance stops growing.  When the cache holds at
+       least E[sd(max_rd)] lines — i.e. [cache_lines] exceeds the largest
+       expected stack distance any profiled reuse can reach — no reuse
+       ever misses and the result is exactly [cold], even with
+       [total_reuses > 0].  The boundary is inclusive: a capacity equal
+       to E[sd(max_rd)] still fits every reuse. *)
     let max_rd = t.starts.(Array.length t.starts - 1) + 1 in
     if expected_stack_distance t max_rd <= capacity then t.cold
     else begin

@@ -30,7 +30,14 @@ val expected_stack_distance : t -> int -> float
 
 val miss_ratio : t -> cache_lines:int -> float
 (** Fraction of all accesses (cold included) missing in a
-    fully-associative LRU cache of [cache_lines] lines. *)
+    fully-associative LRU cache of [cache_lines] lines.
+
+    Edge case: when the histogram is non-empty but [cache_lines] is at
+    least the largest expected stack distance any profiled reuse reaches
+    (E[sd(max_rd)], bounded by the largest reuse distance), every reuse
+    hits and the result is exactly [cold_fraction].  The boundary is
+    inclusive.  [cache_lines <= 0] yields 1.0; an empty histogram yields
+    [cold_fraction] at any positive capacity. *)
 
 val miss_ratio_for : t -> Uarch.cache_level -> float
 
@@ -38,3 +45,8 @@ val cold_fraction : t -> float
 
 val reuse_count : t -> int
 (** Number of reuses in the underlying histogram. *)
+
+val construction_count : unit -> int
+(** Monotonic process-wide count of [of_reuse_histogram] calls; lets
+    tests and benchmarks verify that memoized survival structures are
+    built once per profile rather than once per design point. *)

@@ -1,10 +1,11 @@
 type t = { id : int; counts : (int, int) Hashtbl.t; mutable total : int }
 
-let next_id = ref 0
+(* Atomic: histograms are also created inside Domain-parallel sweeps
+   (e.g. [Sweep.sim_sweep]), and ids key memo tables, so a torn counter
+   would alias unrelated histograms. *)
+let next_id = Atomic.make 0
 
-let fresh_id () =
-  incr next_id;
-  !next_id
+let fresh_id () = Atomic.fetch_and_add next_id 1 + 1
 
 let create () = { id = fresh_id (); counts = Hashtbl.create 8; total = 0 }
 

@@ -1,0 +1,45 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+(* The runtime caps live domains (128 by default); stay well below it so
+   nested callers cannot trip the limit. *)
+let max_workers = 64
+
+let map_array ?(jobs = 1) f xs =
+  let n = Array.length xs in
+  let workers = min (min jobs max_workers) n in
+  if workers <= 1 || n <= 1 then Array.map f xs
+  else begin
+    let results = Array.make n None in
+    let failures = Array.make workers None in
+    (* Balanced contiguous chunks: worker [w] owns [lo, hi). *)
+    let chunk w =
+      let base = n / workers and extra = n mod workers in
+      let lo = (w * base) + min w extra in
+      (lo, lo + base + if w < extra then 1 else 0)
+    in
+    let work w () =
+      let lo, hi = chunk w in
+      try
+        for i = lo to hi - 1 do
+          results.(i) <- Some (f xs.(i))
+        done
+      with e -> failures.(w) <- Some (e, Printexc.get_raw_backtrace ())
+    in
+    let domains = Array.init (workers - 1) (fun w -> Domain.spawn (work (w + 1))) in
+    work 0 ();
+    Array.iter Domain.join domains;
+    Array.iter
+      (function
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> ())
+      failures;
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let map ?(jobs = 1) f xs = Array.to_list (map_array ~jobs f (Array.of_list xs))
+
+let mapi ?(jobs = 1) f xs =
+  Array.to_list
+    (map_array ~jobs
+       (fun (i, x) -> f i x)
+       (Array.of_list (List.mapi (fun i x -> (i, x)) xs)))

@@ -1,0 +1,28 @@
+(** Domain-based deterministic parallel map.
+
+    The design-space sweep engine's substrate: [map ~jobs f xs] evaluates
+    [f] over [xs] on up to [jobs] worker domains and returns the results
+    in input order, bit-identical to the sequential [List.map f xs]
+    whenever [f] is deterministic and domain-safe.  Work is split into
+    [jobs] contiguous chunks (one per worker, balanced to within one
+    element); the calling domain processes the first chunk itself, so
+    [jobs = 2] spawns a single extra domain.
+
+    Falls back to plain sequential evaluation when [jobs <= 1] or the
+    input is too small to split.  If any worker raises, every chunk still
+    runs to completion (no partial cancellation), and the exception of the
+    lowest-numbered failing worker is re-raised with its backtrace. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]: the runtime's estimate of how
+    many domains this machine runs without oversubscription. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] is [List.map f xs] evaluated on [jobs] domains
+    (default 1 = sequential), preserving input order. *)
+
+val mapi : ?jobs:int -> (int -> 'a -> 'b) -> 'a list -> 'b list
+(** [mapi] is to [List.mapi] what [map] is to [List.map]. *)
+
+val map_array : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Array counterpart of [map]. *)

@@ -159,6 +159,85 @@ let test_best_under_power () =
   | None -> ()
   | Some _ -> Alcotest.fail "impossible budget should yield none"
 
+(* ---- Parallel sweeps: determinism and StatStack memoization ---- *)
+
+let test_model_sweep_parallel_determinism () =
+  let profile = Profiler.profile (Benchmarks.find "gcc") ~seed:1
+      ~n_instructions:20_000 in
+  let seq = Sweep.model_sweep ~jobs:1 ~profile Uarch.design_space in
+  let par = Sweep.model_sweep ~jobs:4 ~profile Uarch.design_space in
+  Alcotest.(check int) "same length" (List.length seq) (List.length par);
+  List.iter2
+    (fun (a : Sweep.eval) (b : Sweep.eval) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "config %d bit-identical" a.sw_index)
+        true
+        (compare a b = 0))
+    seq par
+
+let test_sim_sweep_parallel_determinism () =
+  let spec = Benchmarks.find "gcc" in
+  let seq = Sweep.sim_sweep ~jobs:1 ~spec ~seed:1 ~n_instructions:5_000 mini_space in
+  let par = Sweep.sim_sweep ~jobs:4 ~spec ~seed:1 ~n_instructions:5_000 mini_space in
+  Alcotest.(check bool) "sim sweep independent of jobs" true (compare seq par = 0)
+
+let test_statstack_built_once_per_sweep () =
+  let profile = Profiler.profile (Benchmarks.find "sjeng") ~seed:1
+      ~n_instructions:20_000 in
+  (* Force the per-static-load [sl_stack] lazies once so the deltas below
+     measure only the memoized per-microtrace/instruction structures. *)
+  Profile.prepare profile;
+  let count f =
+    let before = Statstack.construction_count () in
+    f ();
+    Statstack.construction_count () - before
+  in
+  (* Per profile the model needs one instruction stack plus a load and a
+     store stack per microtrace — independent of how many configs the
+     sweep visits. *)
+  let expected = (2 * Array.length profile.p_microtraces) + 1 in
+  Profile.clear_stack_memo ();
+  let one_config =
+    count (fun () -> ignore (Sweep.model_sweep ~jobs:1 ~profile [ Uarch.reference ]))
+  in
+  Alcotest.(check int) "1-config sweep: once per structure" expected one_config;
+  Profile.clear_stack_memo ();
+  let many_configs =
+    count (fun () -> ignore (Sweep.model_sweep ~jobs:1 ~profile mini_space))
+  in
+  Alcotest.(check int) "N-config sweep: still once per structure" expected
+    many_configs;
+  let warm =
+    count (fun () -> ignore (Sweep.model_sweep ~jobs:1 ~profile mini_space))
+  in
+  Alcotest.(check int) "warm sweep builds nothing" 0 warm;
+  (* repeated memo lookups return the same physical structure *)
+  Array.iter
+    (fun mt ->
+      Alcotest.(check bool) "load stack physically shared" true
+        (Profile.load_stack profile mt == Profile.load_stack profile mt))
+    profile.p_microtraces
+
+let prop_memo_stack_matches_fresh =
+  QCheck.Test.make ~name:"memoized miss ratios equal freshly built StatStack"
+    ~count:100
+    QCheck.(
+      pair
+        (small_list (pair (int_range 0 200) (int_range 1 50)))
+        (float_range 0.0 0.5))
+    (fun (entries, cold) ->
+      let h = Histogram.create () in
+      List.iter (fun (k, c) -> Histogram.add h ~count:c k) entries;
+      let memo = Profile.memo_stack ~cold_fraction:cold h in
+      let fresh = Statstack.of_reuse_histogram ~cold_fraction:cold h in
+      let hit = Profile.memo_stack ~cold_fraction:cold h in
+      hit == memo
+      && List.for_all
+           (fun n ->
+             Statstack.miss_ratio memo ~cache_lines:n
+             = Statstack.miss_ratio fresh ~cache_lines:n)
+           [ 1; 2; 3; 7; 8; 16; 64; 512; 100_000 ])
+
 (* ---- Empirical baseline ---- *)
 
 let test_empirical_fits_training_data () =
@@ -216,6 +295,13 @@ let () =
             test_sim_sweep_agrees_in_direction;
           Alcotest.test_case "pareto points" `Quick test_pareto_points_roundtrip;
           Alcotest.test_case "best under power" `Quick test_best_under_power;
+          Alcotest.test_case "parallel determinism (model)" `Quick
+            test_model_sweep_parallel_determinism;
+          Alcotest.test_case "parallel determinism (sim)" `Quick
+            test_sim_sweep_parallel_determinism;
+          Alcotest.test_case "statstack built once per sweep" `Quick
+            test_statstack_built_once_per_sweep;
+          QCheck_alcotest.to_alcotest prop_memo_stack_matches_fresh;
         ] );
       ( "empirical",
         [

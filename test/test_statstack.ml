@@ -51,6 +51,23 @@ let test_cold_added_on_top () =
   (* reuses all hit a big cache, only cold misses remain *)
   Alcotest.(check (float 1e-9)) "cold only" 0.2 (Statstack.miss_ratio ss ~cache_lines:100)
 
+let test_capacity_boundary_exactly_cold () =
+  (* Regression: with [total_reuses > 0], a cache whose capacity reaches
+     the largest expected stack distance must return *exactly* [cold]
+     (inclusive boundary), not an approximation of it.  All reuses at
+     rd = 8 make E[sd] saturate at exactly 8.0. *)
+  let ss = Statstack.of_reuse_histogram ~cold_fraction:0.25 (hist [ (8, 400) ]) in
+  Alcotest.(check (float 0.0)) "capacity = max E[sd]: exactly cold" 0.25
+    (Statstack.miss_ratio ss ~cache_lines:8);
+  Alcotest.(check (float 0.0)) "capacity beyond max rd: exactly cold" 0.25
+    (Statstack.miss_ratio ss ~cache_lines:1_000_000);
+  Alcotest.(check (float 1e-9)) "one line short: every reuse misses" 1.0
+    (Statstack.miss_ratio ss ~cache_lines:7);
+  (* same boundary without cold misses: exactly 0.0 *)
+  let warm = Statstack.of_reuse_histogram (hist [ (8, 400) ]) in
+  Alcotest.(check (float 0.0)) "no cold: exactly zero" 0.0
+    (Statstack.miss_ratio warm ~cache_lines:8)
+
 let test_rejects_bad_inputs () =
   Alcotest.check_raises "negative rd"
     (Invalid_argument "Statstack.of_reuse_histogram: negative reuse distance")
@@ -178,6 +195,8 @@ let () =
           Alcotest.test_case "uniform distance" `Quick test_uniform_single_distance;
           Alcotest.test_case "mixture" `Quick test_mixture;
           Alcotest.test_case "cold on top" `Quick test_cold_added_on_top;
+          Alcotest.test_case "capacity boundary exactly cold" `Quick
+            test_capacity_boundary_exactly_cold;
           Alcotest.test_case "rejects bad inputs" `Quick test_rejects_bad_inputs;
           Alcotest.test_case "accessors" `Quick test_accessors;
           Alcotest.test_case "miss_ratio_for" `Quick test_miss_ratio_for_level;

@@ -374,6 +374,53 @@ let test_table_formats () =
   Alcotest.(check string) "float" "1.235" (Table.fmt_f 1.2349);
   Alcotest.(check string) "pct" "9.3%" (Table.fmt_pct 0.093)
 
+(* ---- Parallel ---- *)
+
+let test_parallel_map_matches_sequential () =
+  let xs = List.init 100 Fun.id in
+  let f x = (x * 37) + 1 in
+  Alcotest.(check (list int)) "jobs=4 preserves order" (List.map f xs)
+    (Parallel.map ~jobs:4 f xs);
+  Alcotest.(check (list int)) "jobs=1 fallback" (List.map f xs)
+    (Parallel.map ~jobs:1 f xs);
+  Alcotest.(check (list int)) "default sequential" (List.map f xs)
+    (Parallel.map f xs);
+  (* more workers than elements: each worker gets at most one item *)
+  Alcotest.(check (list int)) "jobs > length" (List.map f [ 1; 2; 3 ])
+    (Parallel.map ~jobs:64 f [ 1; 2; 3 ])
+
+let test_parallel_mapi_indices () =
+  let xs = [ "a"; "b"; "c"; "d"; "e" ] in
+  let got = Parallel.mapi ~jobs:3 (fun i s -> Printf.sprintf "%d%s" i s) xs in
+  Alcotest.(check (list string)) "indices in input order"
+    [ "0a"; "1b"; "2c"; "3d"; "4e" ] got
+
+let test_parallel_map_empty_and_singleton () =
+  Alcotest.(check (list int)) "empty" [] (Parallel.map ~jobs:8 Fun.id []);
+  Alcotest.(check (list int)) "singleton" [ 7 ]
+    (Parallel.map ~jobs:8 (fun x -> x + 1) [ 6 ])
+
+let test_parallel_map_array () =
+  let xs = Array.init 37 Fun.id in
+  Alcotest.(check (array int)) "array order"
+    (Array.map (fun x -> 2 * x) xs)
+    (Parallel.map_array ~jobs:4 (fun x -> 2 * x) xs)
+
+exception Boom of int
+
+let test_parallel_map_propagates_exception () =
+  let xs = List.init 64 Fun.id in
+  match Parallel.map ~jobs:4 (fun x -> if x = 40 then raise (Boom x) else x) xs with
+  | _ -> Alcotest.fail "expected Boom to propagate"
+  | exception Boom 40 -> ()
+
+let prop_parallel_map_equals_list_map =
+  QCheck.Test.make ~name:"Parallel.map = List.map for any jobs" ~count:100
+    QCheck.(pair (int_range 1 9) (small_list small_int))
+    (fun (jobs, xs) ->
+      Parallel.map ~jobs (fun x -> (x * x) - (3 * x)) xs
+      = List.map (fun x -> (x * x) - (3 * x)) xs)
+
 let () =
   Alcotest.run "util"
     [
@@ -440,5 +487,17 @@ let () =
         [
           Alcotest.test_case "render" `Quick test_table_render;
           Alcotest.test_case "formats" `Quick test_table_formats;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "map matches sequential" `Quick
+            test_parallel_map_matches_sequential;
+          Alcotest.test_case "mapi indices" `Quick test_parallel_mapi_indices;
+          Alcotest.test_case "empty and singleton" `Quick
+            test_parallel_map_empty_and_singleton;
+          Alcotest.test_case "map_array" `Quick test_parallel_map_array;
+          Alcotest.test_case "exception propagation" `Quick
+            test_parallel_map_propagates_exception;
+          QCheck_alcotest.to_alcotest prop_parallel_map_equals_list_map;
         ] );
     ]
