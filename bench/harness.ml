@@ -13,6 +13,11 @@ let all_benchmarks = Benchmarks.names
 (* Worker domains for the design-space sweeps below. *)
 let jobs = Parallel.default_jobs ()
 
+(* Clamp a requested parallelism to what the machine can actually run:
+   asking for more domains than cores only adds spawn/sync overhead and
+   makes "parallel speedup" numbers report scheduling noise. *)
+let effective_jobs requested = max 1 (min requested (Parallel.default_jobs ()))
+
 (* ---- Trained entropy model (Fig 3.8 workflow) ---- *)
 
 let entropy_model_for =

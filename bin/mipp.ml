@@ -119,11 +119,27 @@ let list_cmd =
 
 (* ---- profile ---- *)
 
+let profile_jobs_arg =
+  let doc =
+    "Worker domains for sharded profiling (1 = the sequential profiler, \
+     bit-identical to earlier releases)."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"JOBS" ~doc)
+
+let warmup_arg =
+  let doc =
+    "Warm-up instructions run before each shard's region to prime reuse \
+     tables and branch histories (bounds the cold-miss inflation at shard \
+     boundaries; only used when --jobs > 1)."
+  in
+  Arg.(
+    value & opt int Profiler.default_warmup & info [ "warmup" ] ~docv:"N" ~doc)
+
 let profile_cmd =
-  let run bench n seed output spec_file =
+  let run bench n seed output spec_file jobs warmup =
     let spec = find_workload bench spec_file in
     let t0 = Unix.gettimeofday () in
-    let p = Profiler.profile spec ~seed ~n_instructions:n in
+    let p = Profiler.profile spec ~jobs ~warmup ~seed ~n_instructions:n in
     let dt = Unix.gettimeofday () -. t0 in
     (match output with
     | Some path ->
@@ -161,7 +177,7 @@ let profile_cmd =
   in
   Cmd.v (Cmd.info "profile" ~doc:"Profile a workload (micro-architecture independent)")
     Term.(const run $ bench_arg $ instructions_arg $ seed_arg $ output_arg
-          $ spec_file_arg)
+          $ spec_file_arg $ profile_jobs_arg $ warmup_arg)
 
 (* ---- predict / simulate / compare ---- *)
 

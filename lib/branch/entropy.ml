@@ -30,12 +30,45 @@ let observe t ~static_id ~taken =
   Hashtbl.replace t.histories static_id (((h lsl 1) lor Bool.to_int taken) land mask);
   t.observed <- t.observed + 1
 
+let prime t ~static_id ~taken =
+  let mask = (1 lsl t.history_bits) - 1 in
+  let h = Option.value (Hashtbl.find_opt t.histories static_id) ~default:0 in
+  Hashtbl.replace t.histories static_id (((h lsl 1) lor Bool.to_int taken) land mask)
+
+let merge a b =
+  if a.history_bits <> b.history_bits then
+    invalid_arg "Entropy.merge: history_bits mismatch";
+  let t = create ~history_bits:a.history_bits () in
+  let accumulate src =
+    Hashtbl.iter
+      (fun key cell ->
+        match Hashtbl.find_opt t.counts key with
+        | Some c ->
+          c.taken <- c.taken + cell.taken;
+          c.total <- c.total + cell.total
+        | None ->
+          Hashtbl.replace t.counts key { taken = cell.taken; total = cell.total })
+      src.counts;
+    t.observed <- t.observed + src.observed
+  in
+  accumulate a;
+  accumulate b;
+  t
+
 let linear_entropy t =
   if t.observed = 0 then 0.0
   else
+    (* Sum in sorted-key order: float addition is not associative, so a
+       Hashtbl.fold (whose order depends on insertion history) would make
+       the entropy of a merged shard profile differ in the last ulp from
+       the sequential one and break bit-identity of serialized profiles. *)
+    let cells =
+      Hashtbl.fold (fun key cell acc -> (key, cell) :: acc) t.counts []
+      |> List.sort (fun (k1, _) (k2, _) -> compare k1 k2)
+    in
     let weighted =
-      Hashtbl.fold
-        (fun _ cell acc ->
+      List.fold_left
+        (fun acc (_, cell) ->
           (* Laplace-smoothed probability: the raw ratio drives the
              entropy of sparsely-observed patterns to 0 (a branch seen
              once per pattern always looks perfectly predictable),
@@ -46,7 +79,7 @@ let linear_entropy t =
           in
           let e = 2.0 *. Float.min p (1.0 -. p) in
           acc +. (float_of_int cell.total *. e))
-        t.counts 0.0
+        0.0 cells
     in
     weighted /. float_of_int t.observed
 

@@ -17,6 +17,19 @@ val create : ?history_bits:int -> unit -> t
 
 val observe : t -> static_id:int -> taken:bool -> unit
 
+val prime : t -> static_id:int -> taken:bool -> unit
+(** Update the local-history register of [static_id] without recording the
+    outcome in any count.  Used by the sharded profiler's warm-up window to
+    converge history registers to their sequential values before real
+    observation starts (a [history_bits]-deep warm-up suffices). *)
+
+val merge : t -> t -> t
+(** Sum the (static branch, history pattern) outcome counts of two
+    collectors into a fresh one.  Intended for combining finished
+    per-shard collectors; the merged history registers are not meaningful
+    and further [observe]s on the result start from empty histories.
+    Raises [Invalid_argument] if the history lengths differ. *)
+
 val linear_entropy : t -> float
 (** Eq 3.15; 0 = perfectly predictable, 1 = coin flips.  0 when no
     branches were observed. *)

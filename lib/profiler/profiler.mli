@@ -6,7 +6,20 @@
     rest of the window is fast-forwarded.  Reuse-distance bookkeeping
     (last-access tables) and branch-entropy state are maintained across
     the whole stream so distances and histories that span windows stay
-    exact; only the *recording* of statistics is sampled. *)
+    exact; only the *recording* of statistics is sampled.
+
+    The stream can additionally be profiled in [jobs] parallel shards:
+    the stream is split into contiguous window-aligned regions, each
+    worker domain regenerates the stream from the shared seed,
+    fast-forwards to its region, primes its reuse tables and branch
+    histories over a [warmup]-instruction window before its region, then
+    profiles the region; the per-shard results are merged.  Warm-up
+    bounds the error at shard boundaries: an access whose true reuse
+    distance would reach back further than the warm-up window is
+    misclassified as a cold miss, so the inflation is limited to reuses
+    longer than [warmup] instructions.  With an unbounded warm-up
+    ([warmup = max_int]) the merged profile is bit-identical to the
+    sequential one for any shard count. *)
 
 type config = {
   window_instructions : int;
@@ -20,8 +33,30 @@ val default_config : config
 (** 1000-instruction micro-traces every 10_000 instructions; ROB sizes
     16..256 step 16; 64-byte lines; 8-bit branch history. *)
 
+val default_warmup : int
+(** Default shard warm-up window: 10_000 instructions (one sampling
+    window) — reuses shorter than one full window survive sharding. *)
+
 val profile :
+  ?config:config ->
+  ?jobs:int ->
+  ?warmup:int ->
+  Workload_spec.t ->
+  seed:int ->
+  n_instructions:int ->
+  Profile.t
+(** [jobs] (default 1) worker domains profile window-aligned stream
+    shards in parallel; [warmup] (default {!default_warmup}) instructions
+    before each shard's region prime its reuse tables without being
+    recorded.  [~jobs:1] runs a single shard covering the whole stream —
+    exactly the sequential profiler.  Raises [Invalid_argument] if
+    [jobs < 1] or [warmup < 0]. *)
+
+val profile_legacy :
   ?config:config -> Workload_spec.t -> seed:int -> n_instructions:int -> Profile.t
+(** The pre-sharding single-pass profiler, kept verbatim as the reference
+    implementation: {!profile}[ ~jobs:1] must serialize bit-identically to
+    it (pinned by tests and the profile_shards bench). *)
 
 val full_instruction_mix :
   Workload_spec.t -> seed:int -> n_instructions:int -> Isa.Class_counts.t

@@ -1,35 +1,117 @@
-type t = { id : int; counts : (int, int) Hashtbl.t; mutable total : int }
+(* Two-tier backend.  Profiling's inner loop is [add] on reuse distances,
+   strides and spacings, which are overwhelmingly small non-negative ints;
+   a dense count array for keys in [0, dense_limit) turns the seed's
+   Hashtbl find/replace pair (hash + bucket walk + option allocation) into
+   one bounds check and an array store.  Keys outside the dense range
+   (negative strides, distant reuses) spill to a Hashtbl with the original
+   semantics.  The dense tier grows geometrically on demand so the many
+   tiny per-static-load histograms stay small. *)
 
-(* Atomic: histograms are also created inside Domain-parallel sweeps
-   (e.g. [Sweep.sim_sweep]), and ids key memo tables, so a torn counter
+type t = {
+  id : int;
+  mutable dense : int array; (* counts for keys [0, length dense) *)
+  mutable dense_distinct : int;
+  spill : (int, int) Hashtbl.t; (* keys < 0 or >= dense_limit only *)
+  mutable total : int;
+  (* Cached sorted view, invalidated by [add].  Reads from parallel
+     domains (sweeps walk frozen histograms concurrently) can race on the
+     cache, but every racer computes the same immutable list and a word
+     store is atomic, so the race is benign. *)
+  mutable sorted : (int * int) list option;
+}
+
+let dense_limit = 4096
+
+(* Atomic: histograms are also created inside Domain-parallel sweeps and
+   sharded profiling workers, and ids key memo tables, so a torn counter
    would alias unrelated histograms. *)
 let next_id = Atomic.make 0
 
 let fresh_id () = Atomic.fetch_and_add next_id 1 + 1
 
-let create () = { id = fresh_id (); counts = Hashtbl.create 8; total = 0 }
+let create () =
+  {
+    id = fresh_id ();
+    dense = [||];
+    dense_distinct = 0;
+    spill = Hashtbl.create 8;
+    total = 0;
+    sorted = None;
+  }
 
 let id h = h.id
 
-let copy h = { id = fresh_id (); counts = Hashtbl.copy h.counts; total = h.total }
+let copy h =
+  {
+    id = fresh_id ();
+    dense = Array.copy h.dense;
+    dense_distinct = h.dense_distinct;
+    spill = Hashtbl.copy h.spill;
+    total = h.total;
+    sorted = h.sorted;
+  }
+
+let grow_dense h key =
+  let len = Array.length h.dense in
+  let target = ref (max 64 (2 * len)) in
+  while !target <= key do
+    target := 2 * !target
+  done;
+  let bigger = Array.make (min dense_limit !target) 0 in
+  Array.blit h.dense 0 bigger 0 len;
+  h.dense <- bigger
 
 let add h ?(count = 1) key =
   if count < 0 then invalid_arg "Histogram.add: negative count";
-  let current = Option.value (Hashtbl.find_opt h.counts key) ~default:0 in
-  Hashtbl.replace h.counts key (current + count);
-  h.total <- h.total + count
+  if count > 0 then begin
+    h.sorted <- None;
+    if key >= 0 && key < dense_limit then begin
+      if key >= Array.length h.dense then grow_dense h key;
+      let c = Array.unsafe_get h.dense key in
+      if c = 0 then h.dense_distinct <- h.dense_distinct + 1;
+      Array.unsafe_set h.dense key (c + count)
+    end
+    else begin
+      let current = Option.value (Hashtbl.find_opt h.spill key) ~default:0 in
+      Hashtbl.replace h.spill key (current + count)
+    end;
+    h.total <- h.total + count
+  end
 
-let count h key = Option.value (Hashtbl.find_opt h.counts key) ~default:0
+let count h key =
+  if key >= 0 && key < dense_limit then
+    if key < Array.length h.dense then Array.unsafe_get h.dense key else 0
+  else Option.value (Hashtbl.find_opt h.spill key) ~default:0
 
 let total h = h.total
 
-let distinct h = Hashtbl.length h.counts
+let distinct h = h.dense_distinct + Hashtbl.length h.spill
 
 let is_empty h = h.total = 0
 
+let compute_sorted h =
+  let dense = ref [] in
+  for k = Array.length h.dense - 1 downto 0 do
+    let c = Array.unsafe_get h.dense k in
+    if c > 0 then dense := (k, c) :: !dense
+  done;
+  if Hashtbl.length h.spill = 0 then !dense
+  else begin
+    let spill = Hashtbl.fold (fun k c acc -> (k, c) :: acc) h.spill [] in
+    let neg, big = List.partition (fun (k, _) -> k < 0) spill in
+    let sort = List.sort (fun (a, _) (b, _) -> compare a b) in
+    (* Spill keys are < 0 or >= dense_limit, so the three runs concatenate
+       into one sorted list without a merge. *)
+    sort neg @ !dense @ sort big
+  end
+
 let to_sorted_list h =
-  Hashtbl.fold (fun k c acc -> (k, c) :: acc) h.counts []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  match h.sorted with
+  | Some l -> l
+  | None ->
+    let l = compute_sorted h in
+    h.sorted <- Some l;
+    l
 
 let iter h f = List.iter (fun (k, c) -> f k c) (to_sorted_list h)
 
@@ -40,7 +122,8 @@ let mean h =
   if h.total = 0 then 0.0
   else
     let sum =
-      Hashtbl.fold (fun k c acc -> acc +. (float_of_int k *. float_of_int c)) h.counts 0.0
+      fold h ~init:0.0 ~f:(fun acc k c ->
+          acc +. (float_of_int k *. float_of_int c))
     in
     sum /. float_of_int h.total
 
@@ -51,7 +134,7 @@ let fraction_above h threshold =
   if h.total = 0 then 0.0
   else
     let above =
-      Hashtbl.fold (fun k c acc -> if k > threshold then acc + c else acc) h.counts 0
+      fold h ~init:0 ~f:(fun acc k c -> if k > threshold then acc + c else acc)
     in
     float_of_int above /. float_of_int h.total
 
@@ -70,13 +153,13 @@ let quantile_key h q =
 
 let merge a b =
   let result = copy a in
-  Hashtbl.iter (fun k c -> add result ~count:c k) b.counts;
+  iter b (fun k c -> add result ~count:c k);
   result
 
 let scale h factor =
   if factor < 0 then invalid_arg "Histogram.scale: negative factor";
   let result = create () in
-  Hashtbl.iter (fun k c -> add result ~count:(c * factor) k) h.counts;
+  iter h (fun k c -> add result ~count:(c * factor) k);
   result
 
 let normalize h =
@@ -86,7 +169,7 @@ let normalize h =
     List.map (fun (k, c) -> (k, float_of_int c /. t)) (to_sorted_list h)
 
 let top_k h k =
-  Hashtbl.fold (fun key c acc -> (key, c) :: acc) h.counts []
+  to_sorted_list h
   |> List.sort (fun (k1, c1) (k2, c2) ->
          if c1 <> c2 then compare c2 c1 else compare k1 k2)
   |> fun l -> List.filteri (fun i _ -> i < k) l

@@ -2,7 +2,14 @@
 
     The profiler summarizes every distribution it collects (reuse distances,
     strides, dependence-path lengths, load spacings, ...) as a histogram of
-    occurrence counts.  Keys are arbitrary ints (strides may be negative). *)
+    occurrence counts.  Keys are arbitrary ints (strides may be negative).
+
+    The backend is two-tier: keys in [0, 4096) live in a dense count array
+    (grown geometrically on demand) so the profiling inner loop's [add] is
+    a single array store; keys outside that range spill to a hash table.
+    Sorted views ([to_sorted_list], [iter], [fold], [quantile_key], ...)
+    are computed once and cached until the next mutation, so analysis-phase
+    quantile loops over frozen histograms stop re-sorting. *)
 
 type t
 
@@ -16,7 +23,9 @@ val id : t -> int
 val copy : t -> t
 
 val add : t -> ?count:int -> int -> unit
-(** [add h k] increments the count of key [k] (by [count], default 1). *)
+(** [add h k] increments the count of key [k] (by [count], default 1).
+    [~count:0] is a no-op: it does not register [k] as a distinct key.
+    Raises [Invalid_argument] on negative counts. *)
 
 val count : t -> int -> int
 (** Count recorded for a key (0 if absent). *)

@@ -360,5 +360,10 @@ let iter_uops t ~n_instructions ~f =
 
 let skip t ~n_instructions = iter_uops t ~n_instructions ~f:(fun _ -> ())
 
+let fast_forward t ~to_instruction =
+  if to_instruction < t.instr_count then
+    invalid_arg "Workload_gen.fast_forward: cannot rewind the stream";
+  skip t ~n_instructions:(to_instruction - t.instr_count)
+
 let instructions_emitted t = t.instr_count
 let uops_emitted t = t.uop_count

@@ -28,6 +28,15 @@ val skip : t -> n_instructions:int -> unit
 (** Fast-forward the stream without invoking a consumer (still generates,
     so generator state stays identical to a consumed stream). *)
 
+val fast_forward : t -> to_instruction:int -> unit
+(** [fast_forward t ~to_instruction] advances the stream so the next
+    instruction emitted is dynamic instruction [to_instruction] (0-based).
+    Deterministic: a fresh generator fast-forwarded to [i] continues with
+    exactly the stream a sequential walk reaches after [i] instructions —
+    this is what lets sharded profiling workers regenerate their region
+    from the shared seed.  Raises [Invalid_argument] if the stream is
+    already past [to_instruction] (the generator cannot rewind). *)
+
 val instructions_emitted : t -> int
 val uops_emitted : t -> int
 

@@ -397,6 +397,89 @@ let test_profile_io_rejects_truncation () =
   | exception Failure _ -> ()
   | _ -> Alcotest.fail "accepted truncated profile"
 
+(* ---- Sharded profiling ---- *)
+
+let test_shard_jobs1_bit_identical () =
+  (* The sharded pipeline at jobs:1 must be the legacy sequential
+     profiler, down to the serialized byte. *)
+  let spec = Benchmarks.find "gcc" in
+  let legacy = Profiler.profile_legacy spec ~seed:1 ~n_instructions:50_000 in
+  let sharded = Profiler.profile spec ~jobs:1 ~seed:1 ~n_instructions:50_000 in
+  Alcotest.(check bool) "bit-identical serialization" true
+    (Profile_io.to_string sharded = Profile_io.to_string legacy)
+
+let prop_shard_unbounded_warmup_exact =
+  (* With an unbounded warm-up every shard replays the full stream prefix
+     before recording, so the merged histograms, entropy and counters must
+     equal the single-stream profile exactly — for any shard count and any
+     stream length (window-aligned or not). *)
+  QCheck.Test.make ~name:"merged shards = single stream when warm-up unbounded"
+    ~count:8
+    QCheck.(pair (int_range 2 5) (int_range 15_000 45_000))
+    (fun (k, n) ->
+      let spec = Benchmarks.find "mcf" in
+      let legacy = Profiler.profile_legacy spec ~seed:3 ~n_instructions:n in
+      let sharded =
+        Profiler.profile spec ~jobs:k ~warmup:max_int ~seed:3 ~n_instructions:n
+      in
+      Profile_io.to_string sharded = Profile_io.to_string legacy)
+
+let test_shard_merge_renumbering () =
+  (* Bounded warm-up: classifications at shard boundaries may shift, but
+     the merged profile's structure must be intact — microtrace indices
+     renumbered 0..n-1 in stream order, sampling grid unmoved, totals
+     preserved. *)
+  let n = 50_000 in
+  let spec = Benchmarks.find "astar" in
+  let p = Profiler.profile spec ~jobs:3 ~seed:1 ~n_instructions:n in
+  Alcotest.(check int) "microtrace count" 5 (Array.length p.p_microtraces);
+  Alcotest.(check int) "total instructions" n p.p_total_instructions;
+  Array.iteri
+    (fun i (mt : Profile.microtrace) ->
+      Alcotest.(check int) "renumbered index" i mt.mt_index;
+      Alcotest.(check int) "sampling grid position"
+        (i * p.p_window_instructions) mt.mt_start_instruction;
+      let recorded =
+        Histogram.total mt.mt_reuse_load + Histogram.total mt.mt_reuse_store
+        + mt.mt_mem_cold
+      in
+      Alcotest.(check int) "reuse + cold = samples" mt.mt_mem_samples recorded)
+    p.p_microtraces
+
+let test_shard_bounded_warmup_invariants () =
+  (* Warm-up length changes only reuse/cold classification near shard
+     boundaries: sample counts, totals and the sampling grid are
+     warm-up-independent, and losing history can only inflate cold
+     rates, never deflate them. *)
+  let n = 60_000 in
+  let spec = Benchmarks.find "gcc" in
+  let legacy = Profiler.profile_legacy spec ~seed:1 ~n_instructions:n in
+  let sharded = Profiler.profile spec ~jobs:4 ~seed:1 ~n_instructions:n in
+  Alcotest.(check int) "total instructions" legacy.p_total_instructions
+    sharded.p_total_instructions;
+  Alcotest.(check int) "microtrace count"
+    (Array.length legacy.p_microtraces)
+    (Array.length sharded.p_microtraces);
+  Alcotest.(check int) "inst samples" legacy.p_inst_samples
+    sharded.p_inst_samples;
+  Alcotest.(check int) "data accesses" legacy.p_data_accesses
+    sharded.p_data_accesses;
+  Alcotest.(check (float 1e-12)) "uops per instruction"
+    legacy.p_uops_per_instruction sharded.p_uops_per_instruction;
+  Alcotest.(check bool) "cold rate only inflates" true
+    (Profile.cold_miss_rate sharded >= Profile.cold_miss_rate legacy -. 1e-12);
+  Alcotest.(check bool) "data cold only inflates" true
+    (sharded.p_data_cold >= legacy.p_data_cold)
+
+let test_shard_rejects_bad_args () =
+  let spec = Benchmarks.find "gcc" in
+  Alcotest.check_raises "jobs 0"
+    (Invalid_argument "Profiler.profile: jobs must be >= 1") (fun () ->
+      ignore (Profiler.profile spec ~jobs:0 ~seed:1 ~n_instructions:1000));
+  Alcotest.check_raises "negative warmup"
+    (Invalid_argument "Profiler.profile: warmup must be >= 0") (fun () ->
+      ignore (Profiler.profile spec ~warmup:(-1) ~seed:1 ~n_instructions:1000))
+
 let () =
   Alcotest.run "profiler"
     [
@@ -451,5 +534,17 @@ let () =
             test_libquantum_is_stride_dominated;
           Alcotest.test_case "cold stats consistency" `Quick
             test_cold_stats_consistency;
+        ] );
+      ( "sharding",
+        [
+          Alcotest.test_case "jobs:1 bit-identical to legacy" `Quick
+            test_shard_jobs1_bit_identical;
+          QCheck_alcotest.to_alcotest prop_shard_unbounded_warmup_exact;
+          Alcotest.test_case "merge renumbers microtraces" `Quick
+            test_shard_merge_renumbering;
+          Alcotest.test_case "bounded warm-up invariants" `Quick
+            test_shard_bounded_warmup_invariants;
+          Alcotest.test_case "rejects bad arguments" `Quick
+            test_shard_rejects_bad_args;
         ] );
     ]

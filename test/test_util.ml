@@ -210,6 +210,96 @@ let prop_hist_merge_commutes =
       let ba = Histogram.merge (build eb) (build ea) in
       Histogram.to_sorted_list ab = Histogram.to_sorted_list ba)
 
+(* The dense fast path covers keys [0, 4096); these sit exactly on its
+   boundaries and in the negative/large spill tails. *)
+let test_hist_dense_spill_boundaries () =
+  let h = Histogram.create () in
+  let keys = [ 0; 63; 64; 4095; 4096; 100_000; -1; -4096 ] in
+  List.iter (fun k -> Histogram.add h ~count:(abs k + 1) k) keys;
+  List.iter
+    (fun k ->
+      Alcotest.(check int)
+        (Printf.sprintf "count %d" k)
+        (abs k + 1) (Histogram.count h k))
+    keys;
+  Alcotest.(check int) "distinct" (List.length keys) (Histogram.distinct h);
+  Alcotest.(check (list int)) "sorted across tiers"
+    [ -4096; -1; 0; 63; 64; 4095; 4096; 100_000 ]
+    (List.map fst (Histogram.to_sorted_list h));
+  Alcotest.(check int) "absent dense key" 0 (Histogram.count h 1);
+  Alcotest.(check int) "absent spill key" 0 (Histogram.count h (-7))
+
+let test_hist_zero_count_is_noop () =
+  let h = Histogram.create () in
+  Histogram.add h ~count:0 5;
+  Histogram.add h ~count:0 9999;
+  Alcotest.(check int) "distinct" 0 (Histogram.distinct h);
+  Alcotest.(check bool) "still empty" true (Histogram.is_empty h);
+  Alcotest.(check (list (pair int int))) "no entries" []
+    (Histogram.to_sorted_list h)
+
+let test_hist_copy_independent () =
+  let h = Histogram.create () in
+  Histogram.add h 10;
+  Histogram.add h 5000;
+  let c = Histogram.copy h in
+  Histogram.add c 10;
+  Histogram.add c ~count:2 (-4);
+  Alcotest.(check int) "original dense untouched" 1 (Histogram.count h 10);
+  Alcotest.(check int) "original spill untouched" 0 (Histogram.count h (-4));
+  Alcotest.(check int) "copy dense" 2 (Histogram.count c 10);
+  Alcotest.(check int) "copy total" 5 (Histogram.total c);
+  Alcotest.(check bool) "fresh id" true (Histogram.id c <> Histogram.id h)
+
+(* Pins the cached-sorted-view invalidation: interleave adds with reads
+   of every sorted accessor and compare against a naive association-list
+   model after each step. *)
+let prop_hist_cached_view_equivalence =
+  QCheck.Test.make
+    ~name:"sorted view / quantile / iter / fold match model under interleaving"
+    ~count:300
+    QCheck.(
+      small_list
+        (pair (int_range (-100) 5000) (int_range 1 9)))
+    (fun entries ->
+      let h = Histogram.create () in
+      let model = Hashtbl.create 16 in
+      List.for_all
+        (fun (k, c) ->
+          Histogram.add h ~count:c k;
+          Hashtbl.replace model k
+            (c + Option.value (Hashtbl.find_opt model k) ~default:0);
+          let expected =
+            Hashtbl.fold (fun k c acc -> (k, c) :: acc) model []
+            |> List.sort compare
+          in
+          let total = List.fold_left (fun a (_, c) -> a + c) 0 expected in
+          let iter_acc = ref [] in
+          Histogram.iter h (fun k c -> iter_acc := (k, c) :: !iter_acc);
+          let fold_acc =
+            Histogram.fold h ~init:[] ~f:(fun acc k c -> (k, c) :: acc)
+          in
+          let quantile_model q =
+            let target = q *. float_of_int total in
+            let rec go acc = function
+              | [] -> assert false
+              | [ (k, _) ] -> k
+              | (k, c) :: rest ->
+                let acc = acc +. float_of_int c in
+                if acc >= target then k else go acc rest
+            in
+            go 0.0 expected
+          in
+          Histogram.to_sorted_list h = expected
+          && List.rev !iter_acc = expected
+          && List.rev fold_acc = expected
+          && Histogram.total h = total
+          && Histogram.distinct h = List.length expected
+          && List.for_all
+               (fun q -> Histogram.quantile_key h q = quantile_model q)
+               [ 0.1; 0.5; 0.9; 1.0 ])
+        entries)
+
 (* ---- Stats ---- *)
 
 let test_stats_mean_stdev () =
@@ -452,8 +542,14 @@ let () =
           Alcotest.test_case "quantile" `Quick test_hist_quantile;
           Alcotest.test_case "normalize" `Quick test_hist_normalize;
           Alcotest.test_case "top k" `Quick test_hist_top_k;
+          Alcotest.test_case "dense/spill boundaries" `Quick
+            test_hist_dense_spill_boundaries;
+          Alcotest.test_case "zero count is noop" `Quick
+            test_hist_zero_count_is_noop;
+          Alcotest.test_case "copy independence" `Quick test_hist_copy_independent;
           QCheck_alcotest.to_alcotest prop_hist_total;
           QCheck_alcotest.to_alcotest prop_hist_merge_commutes;
+          QCheck_alcotest.to_alcotest prop_hist_cached_view_equivalence;
         ] );
       ( "stats",
         [

@@ -62,6 +62,32 @@ let test_instruction_counting () =
   Alcotest.(check int) "uop count matches" (Workload_gen.uops_emitted gen)
     (List.length uops)
 
+let test_fast_forward_matches_sequential () =
+  (* A fresh generator fast-forwarded to instruction k continues with
+     exactly the stream a sequential walk emits from k — the property the
+     sharded profiler's region workers rely on. *)
+  let k = 1234 and n = 2000 in
+  let seq = Workload_gen.create (Benchmarks.find "mcf") ~seed:7 in
+  Workload_gen.skip seq ~n_instructions:k;
+  let ff = Workload_gen.create (Benchmarks.find "mcf") ~seed:7 in
+  Workload_gen.fast_forward ff ~to_instruction:k;
+  Alcotest.(check int) "position" k (Workload_gen.instructions_emitted ff);
+  Alcotest.(check int) "uop position" (Workload_gen.uops_emitted seq)
+    (Workload_gen.uops_emitted ff);
+  let tail g =
+    let uops = ref [] in
+    Workload_gen.iter_uops g ~n_instructions:n ~f:(fun u -> uops := u :: !uops);
+    List.rev !uops
+  in
+  Alcotest.(check bool) "identical continuation" true (tail seq = tail ff)
+
+let test_fast_forward_rejects_rewind () =
+  let gen = Workload_gen.create (Benchmarks.find "mcf") ~seed:7 in
+  Workload_gen.skip gen ~n_instructions:100;
+  Alcotest.check_raises "rewind"
+    (Invalid_argument "Workload_gen.fast_forward: cannot rewind the stream")
+    (fun () -> Workload_gen.fast_forward gen ~to_instruction:50)
+
 let test_uop_ratio_range () =
   List.iter
     (fun (name, spec) ->
@@ -443,6 +469,10 @@ let () =
           Alcotest.test_case "loop branches" `Quick test_loop_branch_outcomes;
           Alcotest.test_case "phase switching" `Quick test_phase_switching_changes_mix;
           Alcotest.test_case "skip = iterate" `Quick test_skip_equals_consumed_iteration;
+          Alcotest.test_case "fast-forward = sequential" `Quick
+            test_fast_forward_matches_sequential;
+          Alcotest.test_case "fast-forward rejects rewind" `Quick
+            test_fast_forward_rejects_rewind;
           Alcotest.test_case "create rejects invalid" `Quick test_create_rejects_invalid;
           QCheck_alcotest.to_alcotest prop_template_uop_counts;
         ] );
