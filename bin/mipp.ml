@@ -51,11 +51,27 @@ let profile_file_arg =
   let doc = "Load a previously saved profile instead of re-profiling." in
   Arg.(value & opt (some string) None & info [ "p"; "profile-file" ] ~docv:"FILE" ~doc)
 
+(* Exit codes: 0 success, 1 partial failure (sweep with faulted points),
+   2 bad input.  [or_die] is the single funnel for bad input: every
+   user-supplied name, file and config goes through a [Fault]-typed
+   result and dies here with one uniform diagnostic. *)
+let exit_partial_failure = 1
+let exit_bad_input = 2
+
+let or_die = function
+  | Ok v -> v
+  | Error ft ->
+    Printf.eprintf "mipp: %s\n" (Fault.to_string ft);
+    exit exit_bad_input
+
 let find_bench name =
-  try Benchmarks.find name
-  with Not_found ->
-    Printf.eprintf "unknown benchmark %S; run `mipp list`\n" name;
-    exit 2
+  match Benchmarks.find_opt name with
+  | Some spec -> spec
+  | None ->
+    or_die
+      (Error
+         (Fault.bad_input ~context:"benchmark"
+            (Printf.sprintf "unknown benchmark %S; run `mipp list`" name)))
 
 let spec_file_arg =
   let doc =
@@ -66,33 +82,13 @@ let spec_file_arg =
 
 let find_workload bench = function
   | None -> find_bench bench
-  | Some path -> (
-    match Workload_parser.load path with
-    | Ok spec -> spec
-    | Error msg ->
-      Printf.eprintf "cannot load workload spec %s: %s\n" path msg;
-      exit 2)
+  | Some path -> or_die (Workload_parser.load path)
 
 let obtain_profile ~bench ~n ~seed = function
-  | Some path -> (
-    try Profile_io.load path
-    with Failure msg | Sys_error msg ->
-      Printf.eprintf "cannot load profile %s: %s\n" path msg;
-      exit 2)
+  | Some path -> or_die (Profile_io.load path)
   | None -> Profiler.profile (find_bench bench) ~seed ~n_instructions:n
 
-let find_config name =
-  match name with
-  | "reference" -> Uarch.reference
-  | "low-power" -> Uarch.low_power
-  | other -> (
-    match
-      List.find_opt (fun (u : Uarch.t) -> u.name = other) Uarch.design_space
-    with
-    | Some u -> u
-    | None ->
-      Printf.eprintf "unknown config %S; run `mipp list`\n" other;
-      exit 2)
+let find_config name = or_die (Uarch.of_name name)
 
 let print_config u =
   Table.print ~header:[ "parameter"; "value" ]
@@ -383,33 +379,79 @@ let multicore_cmd =
 
 (* ---- sweep ---- *)
 
+let checkpoint_arg =
+  let doc =
+    "Append evaluated design points to $(docv) (CRC-per-line, group-commit) \
+     so a killed sweep can be resumed with --resume."
+  in
+  Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE" ~doc)
+
+let resume_arg =
+  let doc =
+    "Resume from a checkpoint written by --checkpoint (commonly the same \
+     file): design points already in the log are not re-evaluated, and the \
+     combined results are bit-identical to an uninterrupted run."
+  in
+  Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"FILE" ~doc)
+
+let keep_going_arg =
+  let doc =
+    "Evaluate every design point even when some fail; failed points are \
+     reported and the exit code is 1.  Without this flag the sweep stops at \
+     the first failure."
+  in
+  Arg.(value & flag & info [ "keep-going" ] ~doc)
+
 let sweep_cmd =
-  let run bench n seed jobs =
-    let spec = find_bench bench in
-    let p = Profiler.profile spec ~seed ~n_instructions:n in
+  let run bench n seed jobs profile_file checkpoint resume keep_going =
+    let p = obtain_profile ~bench ~n ~seed profile_file in
     let t0 = Unix.gettimeofday () in
-    let evals = Sweep.model_sweep ~jobs ~profile:p Uarch.design_space in
+    let outcome =
+      or_die
+        (Sweep.model_sweep_result ~jobs ?checkpoint ?resume ~keep_going
+           ~profile:p Uarch.design_space)
+    in
     let dt = Unix.gettimeofday () -. t0 in
+    List.iter
+      (function
+        | Ok _ -> ()
+        | Error ft -> Printf.eprintf "mipp: design point failed: %s\n"
+                        (Fault.to_string ft))
+      outcome.Sweep.o_results;
+    let evals = List.filter_map Result.to_option outcome.o_results in
     let front = Pareto.frontier (Sweep.pareto_points evals) in
     Table.section
-      (Printf.sprintf "Design-space sweep: %s (%d points in %.2fs, %d jobs)" bench
-         (List.length evals) dt jobs);
+      (Printf.sprintf
+         "Design-space sweep: %s (%d ok / %d failed%s in %.2fs, %d jobs)"
+         p.Profile.p_workload outcome.o_ok outcome.o_failed
+         (if outcome.o_resumed > 0 then
+            Printf.sprintf ", %d resumed" outcome.o_resumed
+          else "")
+         dt jobs);
     Table.print
       ~header:[ "Pareto design"; "time (ms)"; "power (W)"; "CPI" ]
       ~rows:
         (List.map
            (fun (pt : Pareto.point) ->
-             let e = List.nth evals pt.pt_id in
+             let e =
+               List.find (fun e -> e.Sweep.sw_index = pt.Pareto.pt_id) evals
+             in
              [
                e.Sweep.sw_config.name;
                Table.fmt_f ~decimals:2 (1000.0 *. e.sw_seconds);
                Table.fmt_f ~decimals:1 e.sw_watts;
                Table.fmt_f e.sw_cpi;
              ])
-           front)
+           front);
+    if outcome.o_failed > 0 then exit exit_partial_failure
   in
-  Cmd.v (Cmd.info "sweep" ~doc:"Analytical 243-point design-space sweep")
-    Term.(const run $ bench_arg $ instructions_arg $ seed_arg $ jobs_arg)
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Analytical 243-point design-space sweep (checkpointable, \
+          fault-isolated)")
+    Term.(const run $ bench_arg $ instructions_arg $ seed_arg $ jobs_arg
+          $ profile_file_arg $ checkpoint_arg $ resume_arg $ keep_going_arg)
 
 let () =
   let doc = "Micro-architecture independent processor performance & power modeling" in

@@ -1,0 +1,53 @@
+(** Append-only, crash-tolerant sweep checkpoint log.
+
+    A sweep with checkpointing appends one record per evaluated design
+    point, written in small batches, so a killed process loses at most
+    the in-flight batch (completed writes live in the page cache and
+    survive process death).  The log is fsync'd at most once per second,
+    bounding what a power failure can lose to the last second of
+    progress.  Every line carries its own CRC-32: a torn tail write
+    invalidates only the last record, which [load] silently drops (the
+    resumed sweep re-evaluates that point).  Result floats are stored as
+    raw IEEE-754 bit patterns, making a kill-and-resume sweep
+    bit-identical to an uninterrupted one. *)
+
+type t
+(** An open checkpoint file, ready for appending. *)
+
+(** The serializable numbers of one evaluated design point — everything
+    [Sweep.eval] holds except the config, which the resuming sweep
+    reconstructs from the design point's index. *)
+type numbers = {
+  nm_cpi : float;
+  nm_cycles : float;
+  nm_watts : float;
+  nm_seconds : float;
+  nm_energy_j : float;
+  nm_ed2p : float;
+}
+
+type entry = { e_index : int; e_result : (numbers, Fault.t) result }
+(** One record: the design point's index and its outcome.  Failed points
+    are checkpointed too, so a resume under [--keep-going] does not
+    re-run known-bad configs. *)
+
+val open_ :
+  string -> n_configs:int -> workload:string -> (t, Fault.t) result
+(** [open_ path ~n_configs ~workload] creates [path] with a header
+    identifying the sweep (config count and workload name), or — if the
+    file exists — validates that its header matches, refusing to mix
+    records from a different sweep.  A torn tail left by a kill
+    mid-append is truncated away, so new records never get glued onto a
+    partial line. *)
+
+val append : t -> entry list -> unit
+(** Append records in one write, fsync'ing at most once per second
+    (group commit).  Raises [Fault.Error] on short writes. *)
+
+val close : t -> unit
+
+val load : string -> (int * string * entry list, Fault.t) result
+(** [load path] is [Ok (n_configs, workload, entries)].  Decoding stops
+    at the first CRC-invalid line (torn tail): everything before it is
+    trusted, everything after discarded.  [Error] only for unreadable
+    files or a bad header. *)

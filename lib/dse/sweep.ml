@@ -32,25 +32,239 @@ let of_sim config ~index (r : Sim_result.t) =
   make config ~index ~cycles:(float_of_int r.r_cycles)
     ~instructions:(float_of_int r.r_instructions) ~activity:r.r_activity
 
-let model_sweep ?(options = Interval_model.default_options) ?(jobs = 1) ~profile
-    configs =
-  (* Build every config-independent StatStack structure once, before the
-     fan-out: the worker domains then only read the memo tables, and the
-     per-static-load lazies are already forced (a racing first force
-     would raise [Lazy.Undefined]). *)
-  (match options.combine with
-  | `Separate -> Profile.prepare profile
-  | `Combined -> ());
-  Parallel.mapi ~jobs
-    (fun index config ->
-      of_prediction config ~index (Interval_model.predict ~options config profile))
-    configs
+(* ---- Fault-isolated engine ---- *)
 
-let sim_sweep ?(jobs = 1) ~spec ~seed ~n_instructions configs =
-  Parallel.mapi ~jobs
-    (fun index config ->
+type point_result = (eval, Fault.t) result
+
+type outcome = {
+  o_results : point_result list;
+  o_ok : int;
+  o_failed : int;
+  o_resumed : int;
+}
+
+let numbers_of_eval e : Checkpoint.numbers =
+  {
+    nm_cpi = e.sw_cpi;
+    nm_cycles = e.sw_cycles;
+    nm_watts = e.sw_watts;
+    nm_seconds = e.sw_seconds;
+    nm_energy_j = e.sw_energy_j;
+    nm_ed2p = e.sw_ed2p;
+  }
+
+let eval_of_numbers config ~index (n : Checkpoint.numbers) =
+  {
+    sw_index = index;
+    sw_config = config;
+    sw_cpi = n.nm_cpi;
+    sw_cycles = n.nm_cycles;
+    sw_watts = n.nm_watts;
+    sw_seconds = n.nm_seconds;
+    sw_energy_j = n.nm_energy_j;
+    sw_ed2p = n.nm_ed2p;
+  }
+
+(* A design point whose prediction came out NaN/infinite is a fault of
+   that point, not a value to rank: Pareto fronts and best-under-budget
+   comparisons silently misbehave on NaN. *)
+let check_numeric (e : eval) =
+  let bad name v = if Float.is_finite v then None else Some (name, v) in
+  match
+    List.find_map
+      (fun (n, v) -> bad n v)
+      [ ("cpi", e.sw_cpi); ("cycles", e.sw_cycles); ("watts", e.sw_watts);
+        ("seconds", e.sw_seconds); ("energy_j", e.sw_energy_j);
+        ("ed2p", e.sw_ed2p) ]
+  with
+  | None -> Ok e
+  | Some (name, v) ->
+    Error
+      (Fault.numeric
+         (Printf.sprintf "design point %d: non-finite %s (%h)" e.sw_index name v))
+
+let default_checkpoint_every = 64
+
+(* Shared sweep driver.  [eval_point index config] does the real work;
+   everything here is bookkeeping: restoring checkpointed results,
+   evaluating the remaining points in fault-isolated batches, appending
+   each batch to the checkpoint before moving on, and stopping early
+   (remaining points marked skipped, not checkpointed) when a fault
+   occurs without [keep_going]. *)
+let run_sweep ?(jobs = 1) ?checkpoint ?resume
+    ?(checkpoint_every = default_checkpoint_every) ?(keep_going = true)
+    ~workload ~eval_point configs =
+  let configs_a = Array.of_list configs in
+  let n = Array.length configs_a in
+  let known : point_result option array = Array.make n None in
+  let resumed = ref 0 in
+  let restore path =
+    match Checkpoint.load path with
+    | Error ft -> Error ft
+    | Ok (nc, w, _) when nc <> n || w <> workload ->
+      Error
+        (Fault.bad_input ~context:("checkpoint " ^ path)
+           (Printf.sprintf
+              "cannot resume: file is for %d configs of %S, this sweep has %d \
+               configs of %S"
+              nc w n workload))
+    | Ok (_, _, entries) ->
+      List.iter
+        (fun (e : Checkpoint.entry) ->
+          if known.(e.e_index) = None then incr resumed;
+          known.(e.e_index) <-
+            Some
+              (Result.map
+                 (eval_of_numbers configs_a.(e.e_index) ~index:e.e_index)
+                 e.e_result))
+        entries;
+      Ok ()
+  in
+  let resume_status =
+    match resume with None -> Ok () | Some path -> restore path
+  in
+  match resume_status with
+  | Error ft -> Error ft
+  | Ok () -> (
+    let ckpt =
+      match checkpoint with
+      | None -> Ok None
+      | Some path ->
+        Result.map Option.some (Checkpoint.open_ path ~n_configs:n ~workload)
+    in
+    match ckpt with
+    | Error ft -> Error ft
+    | Ok ckpt ->
+      Fun.protect
+        ~finally:(fun () -> Option.iter Checkpoint.close ckpt)
+        (fun () ->
+          let pending =
+            List.filter (fun i -> known.(i) = None) (List.init n Fun.id)
+          in
+          (* Batches bound both the checkpoint loss window and, without
+             keep-going, how far past the first fault the sweep runs. *)
+          let batch_size =
+            if ckpt <> None || not keep_going then max 1 checkpoint_every
+            else max 1 (List.length pending)
+          in
+          let rec batches = function
+            | [] -> []
+            | l ->
+              let rec take k = function
+                | x :: rest when k > 0 ->
+                  let hd, tl = take (k - 1) rest in
+                  (x :: hd, tl)
+                | rest -> ([], rest)
+              in
+              let hd, tl = take batch_size l in
+              hd :: batches tl
+          in
+          let stopped = ref false in
+          List.iter
+            (fun batch ->
+              if !stopped then
+                List.iter
+                  (fun i ->
+                    known.(i) <-
+                      Some
+                        (Error
+                           (Fault.bad_input ~context:"sweep"
+                              (Printf.sprintf
+                                 "design point %d skipped: an earlier point \
+                                  failed (run with keep-going to evaluate \
+                                  every point)"
+                                 i))))
+                  batch
+              else begin
+                let results =
+                  Parallel.map_result ~jobs
+                    (fun i -> eval_point i configs_a.(i))
+                    batch
+                in
+                let results =
+                  List.map
+                    (fun r -> Result.bind r check_numeric)
+                    results
+                in
+                List.iter2 (fun i r -> known.(i) <- Some r) batch results;
+                Option.iter
+                  (fun c ->
+                    Checkpoint.append c
+                      (List.map2
+                         (fun i r ->
+                           { Checkpoint.e_index = i;
+                             e_result = Result.map numbers_of_eval r })
+                         batch results))
+                  ckpt;
+                if (not keep_going) && List.exists Result.is_error results then
+                  stopped := true
+              end)
+            (batches pending);
+          let results =
+            Array.to_list
+              (Array.map
+                 (function Some r -> r | None -> assert false)
+                 known)
+          in
+          let ok = List.length (List.filter Result.is_ok results) in
+          Ok
+            {
+              o_results = results;
+              o_ok = ok;
+              o_failed = n - ok;
+              o_resumed = !resumed;
+            }))
+
+let model_sweep_result ?(options = Interval_model.default_options) ?jobs
+    ?checkpoint ?resume ?checkpoint_every ?keep_going ~profile configs =
+  match Profile.validate profile with
+  | Error ft -> Error ft
+  | Ok () ->
+    (* Build every config-independent StatStack structure once, before
+       the fan-out: the worker domains then only read the memo tables,
+       and the per-static-load lazies are already forced (a racing first
+       force would raise [Lazy.Undefined]). *)
+    (match options.combine with
+    | `Separate -> Profile.prepare profile
+    | `Combined -> ());
+    run_sweep ?jobs ?checkpoint ?resume ?checkpoint_every ?keep_going
+      ~workload:profile.Profile.p_workload
+      ~eval_point:(fun index config ->
+        of_prediction config ~index
+          (Interval_model.predict ~options config profile))
+      configs
+
+let sim_sweep_result ?jobs ?checkpoint ?resume ?checkpoint_every ?keep_going
+    ~spec ~seed ~n_instructions configs =
+  run_sweep ?jobs ?checkpoint ?resume ?checkpoint_every ?keep_going
+    ~workload:spec.Workload_spec.wname
+    ~eval_point:(fun index config ->
       of_sim config ~index (Simulator.run config spec ~seed ~n_instructions))
     configs
+
+(* ---- Legacy raising interface ---- *)
+
+(* Kept for callers that want a plain eval list and exception-on-failure
+   semantics; a [Worker_crash] re-raises the original exception with its
+   backtrace, so pre-isolation behavior is preserved exactly. *)
+let first_error outcome =
+  List.find_map (function Error ft -> Some ft | Ok _ -> None) outcome.o_results
+
+let evals_exn = function
+  | Error ft -> Fault.raise_error ft
+  | Ok outcome -> (
+    match first_error outcome with
+    | Some ft -> Fault.raise_error ft
+    | None ->
+      List.map
+        (function Ok e -> e | Error _ -> assert false)
+        outcome.o_results)
+
+let model_sweep ?options ?jobs ~profile configs =
+  evals_exn (model_sweep_result ?options ?jobs ~profile configs)
+
+let sim_sweep ?jobs ~spec ~seed ~n_instructions configs =
+  evals_exn (sim_sweep_result ?jobs ~spec ~seed ~n_instructions configs)
 
 let pareto_points evals =
   List.map

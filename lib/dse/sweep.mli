@@ -3,7 +3,13 @@
     The whole point of the micro-architecture independent model: profile
     once, then evaluate every design point analytically.  [model_sweep]
     does exactly that; [sim_sweep] is the detailed-simulation
-    counterpart used as ground truth (and for the speedup comparison). *)
+    counterpart used as ground truth (and for the speedup comparison).
+
+    The [_result] variants are the fault-isolated engine: a design point
+    that crashes or produces non-finite numbers yields an [Error] for
+    that point alone, every other point still evaluates, and progress
+    can be checkpointed to disk and resumed bit-identically after a
+    kill. *)
 
 type eval = {
   sw_index : int;  (** position in the config list: the design-point id *)
@@ -19,18 +25,78 @@ type eval = {
 val of_prediction : Uarch.t -> index:int -> Interval_model.prediction -> eval
 val of_sim : Uarch.t -> index:int -> Sim_result.t -> eval
 
+type point_result = (eval, Fault.t) result
+
+type outcome = {
+  o_results : point_result list;
+      (** one per config, in config order, independent of [jobs] *)
+  o_ok : int;
+  o_failed : int;  (** faulted plus (without keep-going) skipped points *)
+  o_resumed : int;  (** points restored from the resume checkpoint *)
+}
+
+val default_checkpoint_every : int
+(** Points per checkpoint batch (64): small enough that a killed process
+    loses little work (each batch is written before the next starts),
+    cheap enough — writes are group-committed, fsync'd at most once per
+    second — to stay within a few percent of an uncheckpointed sweep. *)
+
+val model_sweep_result :
+  ?options:Interval_model.options ->
+  ?jobs:int ->
+  ?checkpoint:string ->
+  ?resume:string ->
+  ?checkpoint_every:int ->
+  ?keep_going:bool ->
+  profile:Profile.t ->
+  Uarch.t list ->
+  (outcome, Fault.t) result
+(** Fault-isolated analytical sweep.  The profile is first run through
+    {!Profile.validate} ([Error] on a corrupt profile, before any work);
+    config-independent StatStack structures are built once before the
+    evaluation fans out over [jobs] worker domains.
+
+    [?checkpoint] appends each evaluated batch (of [?checkpoint_every]
+    points, group-committed) to an append-only CRC-per-line log;
+    [?resume] reads
+    such a log (commonly the same path) and skips every point it already
+    holds.  A sweep killed mid-run and resumed produces results
+    bit-identical to an uninterrupted sequential run: floats round-trip
+    through the log as raw IEEE-754 bit patterns.
+
+    [keep_going] (default [true]) evaluates every point regardless of
+    individual faults.  With [~keep_going:false] the sweep stops at the
+    first batch containing a fault and marks the remaining points as
+    skipped ([Error], not written to the checkpoint, so a later resume
+    still evaluates them).
+
+    The outer [Error] is reserved for whole-sweep failures: invalid
+    profile, unreadable/mismatched checkpoint. *)
+
+val sim_sweep_result :
+  ?jobs:int ->
+  ?checkpoint:string ->
+  ?resume:string ->
+  ?checkpoint_every:int ->
+  ?keep_going:bool ->
+  spec:Workload_spec.t ->
+  seed:int ->
+  n_instructions:int ->
+  Uarch.t list ->
+  (outcome, Fault.t) result
+(** Detailed-simulation counterpart; each design point simulates the
+    workload from the same seed, so results are independent of [jobs]. *)
+
 val model_sweep :
   ?options:Interval_model.options ->
   ?jobs:int ->
   profile:Profile.t ->
   Uarch.t list ->
   eval list
-(** [model_sweep ~jobs ~profile configs] evaluates every design point
-    analytically.  Config-independent StatStack survival structures are
-    built once per profile (not once per config) before the evaluation
-    fans out over [jobs] worker domains ([Parallel.map]); results are in
-    config order and bit-identical for any [jobs].  Default [jobs = 1]
-    (sequential). *)
+(** [model_sweep_result] without isolation: the first per-point fault is
+    re-raised (a worker crash with its original exception and backtrace,
+    other faults as [Fault.Error]).  Results are in config order and
+    bit-identical for any [jobs].  Default [jobs = 1] (sequential). *)
 
 val sim_sweep :
   ?jobs:int ->
@@ -39,8 +105,6 @@ val sim_sweep :
   n_instructions:int ->
   Uarch.t list ->
   eval list
-(** Detailed-simulation counterpart; each design point simulates the
-    workload from the same seed, so results are independent of [jobs]. *)
 
 val pareto_points : eval list -> Pareto.point list
 (** (delay = seconds, power = watts) points for Pareto analysis. *)

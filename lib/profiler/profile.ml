@@ -147,6 +147,120 @@ let cold_correction t =
     Float.min 2.0 (exact /. sampled)
   end
 
+(* ---- Invariant validation (run after load, before sweeps) ---- *)
+
+let validate t =
+  let err fmt = Printf.ksprintf (fun m -> Some m) fmt in
+  let check_finite name v =
+    if Float.is_finite v then None else err "%s is not finite (%h)" name v
+  in
+  let check_nonneg name v = if v >= 0 then None else err "%s is negative (%d)" name v in
+  let check_fraction name v =
+    if Float.is_finite v && v >= 0.0 && v <= 1.0 then None
+    else err "%s outside [0,1] (%h)" name v
+  in
+  let first_error checks = List.find_map (fun c -> c) checks in
+  let chain_ok (mt : microtrace) =
+    let cs = mt.mt_chains in
+    let n = Array.length cs.rob_sizes in
+    if Array.length cs.ap <> n || Array.length cs.abp <> n || Array.length cs.cp <> n
+       || Array.length cs.abp_windows <> n
+    then err "microtrace %d: chain arrays disagree with rob_sizes" mt.mt_index
+    else if
+      Array.exists (fun v -> not (Float.is_finite v) || v < 0.0) cs.ap
+      || Array.exists (fun v -> not (Float.is_finite v) || v < 0.0) cs.abp
+      || Array.exists (fun v -> not (Float.is_finite v) || v < 0.0) cs.cp
+    then err "microtrace %d: non-finite or negative chain length" mt.mt_index
+    else None
+  in
+  let cold_ok (mt : microtrace) =
+    let c = mt.mt_cold in
+    let n = Array.length c.cold_rob_sizes in
+    if Array.length c.cold_windows <> n || Array.length c.cold_windows_hit <> n
+       || Array.length c.cold_total <> n
+    then err "microtrace %d: cold-stat arrays disagree with cold_rob_sizes" mt.mt_index
+    else None
+  in
+  let static_ok (mt : microtrace) =
+    List.find_map
+      (fun sl ->
+        if sl.sl_count < 0 || sl.sl_cold < 0 then
+          err "microtrace %d: static load %d has negative counters" mt.mt_index
+            sl.sl_static_id
+        else if sl.sl_cold > sl.sl_count then
+          err "microtrace %d: static load %d has more cold touches (%d) than accesses (%d)"
+            mt.mt_index sl.sl_static_id sl.sl_cold sl.sl_count
+        else None)
+      mt.mt_static_loads
+  in
+  let microtrace_ok i (mt : microtrace) =
+    if mt.mt_index <> i then
+      err "microtrace index %d at position %d (indices must be contiguous)" mt.mt_index i
+    else
+      first_error
+        [
+          check_nonneg (Printf.sprintf "microtrace %d: instructions" i) mt.mt_instructions;
+          check_nonneg (Printf.sprintf "microtrace %d: uops" i) mt.mt_uops;
+          check_nonneg (Printf.sprintf "microtrace %d: branches" i) mt.mt_branches;
+          check_nonneg (Printf.sprintf "microtrace %d: mem_samples" i) mt.mt_mem_samples;
+          check_nonneg (Printf.sprintf "microtrace %d: mem_cold" i) mt.mt_mem_cold;
+          check_nonneg (Printf.sprintf "microtrace %d: store_cold" i) mt.mt_store_cold;
+          (if mt.mt_store_cold > mt.mt_mem_cold then
+             err "microtrace %d: store_cold (%d) exceeds mem_cold (%d)" i
+               mt.mt_store_cold mt.mt_mem_cold
+           else None);
+          (let mass =
+             Histogram.total mt.mt_reuse_load + Histogram.total mt.mt_reuse_store
+             + mt.mt_mem_cold
+           in
+           if mass <> mt.mt_mem_samples then
+             err "microtrace %d: reuse mass %d + cold %d inconsistent with %d samples" i
+               (mass - mt.mt_mem_cold) mt.mt_mem_cold mt.mt_mem_samples
+           else None);
+          chain_ok mt;
+          cold_ok mt;
+          static_ok mt;
+        ]
+  in
+  let problem =
+    first_error
+      [
+        (if t.p_window_instructions <= 0 then err "window_instructions must be positive"
+         else None);
+        (if t.p_microtrace_instructions <= 0 then
+           err "microtrace_instructions must be positive"
+         else None);
+        (if t.p_line_bytes <= 0 then err "line_bytes must be positive" else None);
+        check_nonneg "total_instructions" t.p_total_instructions;
+        check_nonneg "inst_samples" t.p_inst_samples;
+        check_nonneg "data_accesses" t.p_data_accesses;
+        check_nonneg "data_cold" t.p_data_cold;
+        (if t.p_data_cold > t.p_data_accesses then
+           err "data_cold (%d) exceeds data_accesses (%d)" t.p_data_cold t.p_data_accesses
+         else None);
+        check_finite "entropy" t.p_entropy;
+        (if t.p_entropy < 0.0 then err "entropy is negative (%h)" t.p_entropy else None);
+        check_fraction "branch_fraction" t.p_branch_fraction;
+        check_fraction "inst_cold_fraction" t.p_inst_cold_fraction;
+        check_finite "uops_per_instruction" t.p_uops_per_instruction;
+        (if t.p_uops_per_instruction < 0.0 then
+           err "uops_per_instruction is negative (%h)" t.p_uops_per_instruction
+         else None);
+        (let rec scan i =
+           if i >= Array.length t.p_microtraces then None
+           else
+             match microtrace_ok i t.p_microtraces.(i) with
+             | Some _ as e -> e
+             | None -> scan (i + 1)
+         in
+         scan 0);
+      ]
+  in
+  match problem with
+  | None -> Ok ()
+  | Some message ->
+    Error (Fault.bad_input ~context:("profile " ^ t.p_workload) message)
+
 (* ---- Memoized StatStack structures (the analysis-phase hot path) ----
 
    Reuse histograms are frozen once profiling ends and are independent of

@@ -1,7 +1,11 @@
-let format_version = 1
+let format_version = 2
 
 (* Line-oriented, self-describing text format.  Floats are written as hex
-   float literals so save/load round-trips exactly. *)
+   float literals so save/load round-trips exactly.  Version 2 appends a
+   trailing whole-file CRC-32 line, written on save and verified before
+   parsing on load, so truncation, torn writes and byte flips are caught
+   up front with one structured error instead of a parse crash deep in
+   the body. *)
 
 let bprintf = Printf.bprintf
 
@@ -61,16 +65,21 @@ let to_string (p : Profile.t) =
         mt.mt_static_loads)
     p.p_microtraces;
   bprintf buf "end\n";
-  Buffer.contents buf
+  (* The checksum covers every byte written so far (the body never
+     contains empty lines, so the loader can reconstruct the exact
+     checksummed bytes from its filtered line view). *)
+  let body = Buffer.contents buf in
+  body ^ "checksum " ^ Crc32.to_hex (Crc32.string body) ^ "\n"
 
 (* ---- Parsing ---- *)
 
 type reader = { lines : string array; mutable pos : int }
 
 let fail_at r msg =
-  failwith
-    (Printf.sprintf "Profile_io: %s at line %d%s" msg (r.pos + 1)
-       (if r.pos < Array.length r.lines then ": " ^ r.lines.(r.pos) else ""))
+  Fault.raise_error
+    (Fault.bad_input ~line:(r.pos + 1) ~context:"profile"
+       (msg
+       ^ if r.pos < Array.length r.lines then ": " ^ r.lines.(r.pos) else ""))
 
 let next_line r =
   if r.pos >= Array.length r.lines then fail_at r "unexpected end of file";
@@ -120,7 +129,10 @@ let read_hist r ~tag =
     List.iter
       (fun pair ->
         match String.split_on_char ':' pair with
-        | [ k; c ] -> Histogram.add h ~count:(parse_int r c) (parse_int r k)
+        | [ k; c ] ->
+          let count = parse_int r c in
+          if count < 0 then fail_at r ("negative histogram count " ^ pair);
+          Histogram.add h ~count (parse_int r k)
         | _ -> fail_at r ("bad histogram pair " ^ pair))
       pairs;
     h
@@ -175,6 +187,7 @@ let read_microtrace r : Profile.microtrace =
       | [ n ] -> parse_int r n
       | _ -> fail_at r "malformed statics count"
     in
+    if n_statics < 0 then fail_at r "negative statics count";
     let statics = List.init n_statics (fun _ -> read_static r) in
     {
       mt_index = parse_int r index;
@@ -195,61 +208,126 @@ let read_microtrace r : Profile.microtrace =
     }
   | _ -> fail_at r "malformed microtrace header"
 
+(* The version this reader understands, checked before anything else so a
+   file written by a future mipp yields a clean "newer version" error,
+   never a crash on an unknown directive. *)
+let parse_version r =
+  match tokens_of r ~tag:"mipp-profile" with
+  | [ v ] -> (
+    match int_of_string_opt v with
+    | Some version when version >= 1 && version <= format_version -> version
+    | Some version ->
+      Fault.raise_error
+        (Fault.bad_input ~line:1 ~context:"profile"
+           (Printf.sprintf
+              "format version %d is newer than this build supports (max %d); \
+               upgrade mipp to read this profile"
+              version format_version))
+    | None -> fail_at r "bad version"
+  )
+  | _ -> fail_at r "bad header"
+
+(* Verify the trailing whole-file checksum.  The body is reconstructed
+   from the retained lines (joined by '\n', trailing '\n'), which is
+   byte-identical to what [to_string] checksummed because the writer
+   never emits empty lines.  Returns the reader restricted to the body. *)
+let verify_checksum ~version (lines : string array) =
+  let n = Array.length lines in
+  let has_checksum = n > 0 && String.length lines.(n - 1) >= 9
+                     && String.sub lines.(n - 1) 0 9 = "checksum " in
+  if not has_checksum then begin
+    if version >= 2 then
+      Fault.raise_error
+        (Fault.bad_input ~context:"profile"
+           "missing trailing checksum (file truncated?)");
+    lines
+  end
+  else begin
+    let body = Array.sub lines 0 (n - 1) in
+    let expected =
+      match Crc32.of_hex (String.sub lines.(n - 1) 9 (String.length lines.(n - 1) - 9)) with
+      | Some crc -> crc
+      | None ->
+        Fault.raise_error
+          (Fault.bad_input ~line:n ~context:"profile" "malformed checksum line")
+    in
+    let crc =
+      Array.fold_left
+        (fun crc l ->
+          Crc32.update (Crc32.update crc l ~pos:0 ~len:(String.length l)) "\n" ~pos:0
+            ~len:1)
+        0 body
+    in
+    if crc <> expected then
+      Fault.raise_error
+        (Fault.bad_input ~context:"profile"
+           (Printf.sprintf
+              "checksum mismatch (stored %s, computed %s): file corrupt or truncated"
+              (Crc32.to_hex expected) (Crc32.to_hex crc)));
+    body
+  end
+
 let of_string s =
-  let lines =
-    String.split_on_char '\n' s |> List.filter (fun l -> l <> "") |> Array.of_list
-  in
-  let r = { lines; pos = 0 } in
-  (match tokens_of r ~tag:"mipp-profile" with
-  | [ v ] when parse_int r v = format_version -> ()
-  | [ v ] ->
-    failwith
-      (Printf.sprintf "Profile_io: format version %s unsupported (expected %d)" v
-         format_version)
-  | _ -> fail_at r "bad header");
-  let workload = String.concat " " (tokens_of r ~tag:"workload") in
-  let window, microtrace, total, line_bytes =
-    match tokens_of r ~tag:"params" with
-    | [ a; b; c; d ] -> (parse_int r a, parse_int r b, parse_int r c, parse_int r d)
-    | _ -> fail_at r "malformed params"
-  in
-  let entropy, branch_fraction, upi, inst_cold =
-    match tokens_of r ~tag:"scalars" with
-    | [ a; b; c; d ] ->
-      (parse_float r a, parse_float r b, parse_float r c, parse_float r d)
-    | _ -> fail_at r "malformed scalars"
-  in
-  let inst_samples, data_accesses, data_cold =
-    match tokens_of r ~tag:"counters" with
-    | [ a; b; c ] -> (parse_int r a, parse_int r b, parse_int r c)
-    | _ -> fail_at r "malformed counters"
-  in
-  let reuse_inst = read_hist r ~tag:"reuse_inst" in
-  let n_mts =
-    match tokens_of r ~tag:"microtraces" with
-    | [ n ] -> parse_int r n
-    | _ -> fail_at r "malformed microtraces count"
-  in
-  let mts = Array.init n_mts (fun _ -> read_microtrace r) in
-  (match tokens_of r ~tag:"end" with
-  | [] -> ()
-  | _ -> fail_at r "trailing content after end marker");
-  {
-    Profile.p_workload = workload;
-    p_window_instructions = window;
-    p_microtrace_instructions = microtrace;
-    p_total_instructions = total;
-    p_line_bytes = line_bytes;
-    p_microtraces = mts;
-    p_entropy = entropy;
-    p_branch_fraction = branch_fraction;
-    p_uops_per_instruction = upi;
-    p_reuse_inst = reuse_inst;
-    p_inst_cold_fraction = inst_cold;
-    p_inst_samples = inst_samples;
-    p_data_accesses = data_accesses;
-    p_data_cold = data_cold;
-  }
+  Fault.protect ~context:"profile" (fun () ->
+      let lines =
+        String.split_on_char '\n' s |> List.filter (fun l -> l <> "") |> Array.of_list
+      in
+      let r = { lines; pos = 0 } in
+      let version = parse_version r in
+      let body = verify_checksum ~version lines in
+      let r = { lines = body; pos = r.pos } in
+      let workload = String.concat " " (tokens_of r ~tag:"workload") in
+      let window, microtrace, total, line_bytes =
+        match tokens_of r ~tag:"params" with
+        | [ a; b; c; d ] -> (parse_int r a, parse_int r b, parse_int r c, parse_int r d)
+        | _ -> fail_at r "malformed params"
+      in
+      let entropy, branch_fraction, upi, inst_cold =
+        match tokens_of r ~tag:"scalars" with
+        | [ a; b; c; d ] ->
+          (parse_float r a, parse_float r b, parse_float r c, parse_float r d)
+        | _ -> fail_at r "malformed scalars"
+      in
+      let inst_samples, data_accesses, data_cold =
+        match tokens_of r ~tag:"counters" with
+        | [ a; b; c ] -> (parse_int r a, parse_int r b, parse_int r c)
+        | _ -> fail_at r "malformed counters"
+      in
+      let reuse_inst = read_hist r ~tag:"reuse_inst" in
+      let n_mts =
+        match tokens_of r ~tag:"microtraces" with
+        | [ n ] -> parse_int r n
+        | _ -> fail_at r "malformed microtraces count"
+      in
+      if n_mts < 0 then fail_at r "negative microtraces count";
+      let mts = Array.init n_mts (fun _ -> read_microtrace r) in
+      (match tokens_of r ~tag:"end" with
+      | [] -> ()
+      | _ -> fail_at r "trailing content after end marker");
+      if r.pos <> Array.length body then fail_at r "trailing content after end marker";
+      let profile =
+        {
+          Profile.p_workload = workload;
+          p_window_instructions = window;
+          p_microtrace_instructions = microtrace;
+          p_total_instructions = total;
+          p_line_bytes = line_bytes;
+          p_microtraces = mts;
+          p_entropy = entropy;
+          p_branch_fraction = branch_fraction;
+          p_uops_per_instruction = upi;
+          p_reuse_inst = reuse_inst;
+          p_inst_cold_fraction = inst_cold;
+          p_inst_samples = inst_samples;
+          p_data_accesses = data_accesses;
+          p_data_cold = data_cold;
+        }
+      in
+      (* Structural parse succeeded; now enforce the semantic invariants
+         so a well-formed-but-nonsensical file (negative counters, NaN
+         scalars, inconsistent histogram mass) is rejected here rather
+         than poisoning a later sweep. *)
+      Fault.or_raise (Result.map (fun () -> profile) (Profile.validate profile)))
 
 let save path profile =
   let oc = open_out path in
@@ -258,10 +336,23 @@ let save path profile =
     (fun () -> output_string oc (to_string profile))
 
 let load path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let n = in_channel_length ic in
-      let s = really_input_string ic n in
-      of_string s)
+  match
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let n = in_channel_length ic in
+        really_input_string ic n)
+  with
+  | exception Sys_error msg ->
+    Error (Fault.bad_input ~context:("profile " ^ path) msg)
+  | s -> (
+    match of_string s with
+    | Ok p -> Ok p
+    | Error (Fault.Bad_input { context; line; message }) ->
+      (* Re-anchor the context on the file name. *)
+      Error
+        (Fault.Bad_input
+           { context = (if context = "profile" then "profile " ^ path else context);
+             line; message })
+    | Error ft -> Error ft)

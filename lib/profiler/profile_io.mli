@@ -1,4 +1,4 @@
-(** Profile serialization.
+(** Hardened profile serialization.
 
     The paper's released framework is split in two tools: AIP writes the
     application profile to disk (protobuf) once, PMT reads it back for
@@ -7,20 +7,34 @@
     {!Profile.t} holds, [load] reconstructs it (lazy per-static-load
     StatStacks are rebuilt on demand).
 
-    The format is versioned; [load] rejects files written by an
-    incompatible version. *)
+    Robustness contract (version 2):
+    - [save] appends a trailing whole-file CRC-32 line; [load] verifies it
+      before parsing, so truncation, torn writes and byte flips surface as
+      one structured error up front.
+    - [load] and [of_string] never raise on malformed input: every parse
+      failure is an [Error (Fault.Bad_input _)] carrying the line number
+      and the offending content.
+    - Files declaring a format version newer than [format_version] are
+      rejected with a clean "newer version" error, never a parse crash.
+    - A structurally valid profile is additionally run through
+      {!Profile.validate} so semantic corruption (negative counters, NaN
+      scalars, inconsistent histogram mass) is caught at the I/O boundary.
+
+    Version 1 files (no trailing checksum) are still accepted. *)
 
 val format_version : int
 
 val save : string -> Profile.t -> unit
-(** [save path profile] writes the profile; raises [Sys_error] on I/O
-    failure. *)
+(** [save path profile] writes the profile with its trailing checksum;
+    raises [Sys_error] on I/O failure. *)
 
-val load : string -> Profile.t
-(** Raises [Failure] with a descriptive message on parse errors or
-    version mismatch, [Sys_error] on I/O failure. *)
+val load : string -> (Profile.t, Fault.t) result
+(** [Error (Fault.Bad_input _)] on unreadable files, checksum mismatch,
+    version mismatch, parse errors (with line context) and profiles
+    failing {!Profile.validate}.  Never raises on bad input. *)
 
 val to_string : Profile.t -> string
-(** The serialized form, for tests and piping. *)
+(** The serialized form including the trailing checksum line, for tests
+    and piping. *)
 
-val of_string : string -> Profile.t
+val of_string : string -> (Profile.t, Fault.t) result

@@ -189,6 +189,21 @@ let design_space =
         robs)
     widths
 
+let of_name name =
+  match name with
+  | "reference" -> Ok reference
+  | "low-power" -> Ok low_power
+  | other -> (
+    match List.find_opt (fun u -> u.name = other) design_space with
+    | Some u -> Ok u
+    | None ->
+      Error
+        (Fault.bad_input ~context:"config"
+           (Printf.sprintf
+              "unknown configuration %S (expected 'reference', 'low-power', or \
+               a design-space name like 'w4-rob128-l1_32k-l2_256k-l3_8m')"
+              other)))
+
 let with_dvfs t ~freq_ghz ~vdd =
   { t with operating_point = { freq_ghz; vdd };
            name = Printf.sprintf "%s@%.2fGHz" t.name freq_ghz }

@@ -99,6 +99,12 @@ val design_space : t list
 val design_space_axes : (string * string list) list
 (** Axis name and the three values per axis — the rows of Table 6.3. *)
 
+val of_name : string -> (t, Fault.t) result
+(** Look up a configuration by user-supplied name: ["reference"],
+    ["low-power"], or a design-space point name like
+    ["w4-rob128-l1_32k-l2_256k-l3_8m"].  Unknown names are a
+    [Fault.Bad_input] listing the accepted forms. *)
+
 val with_dvfs : t -> freq_ghz:float -> vdd:float -> t
 val dvfs_points : (float * float) list
 (** The (frequency GHz, Vdd) DVFS settings of Table 7.2. *)

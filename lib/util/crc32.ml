@@ -1,0 +1,38 @@
+(* CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320), table-driven.
+   Used as the integrity check on profile files and checkpoint lines; a
+   32-bit CRC is plenty to detect the truncations, torn writes and byte
+   flips those formats must survive. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let update crc s ~pos ~len =
+  let table = Lazy.force table in
+  let c = ref (crc lxor 0xFFFFFFFF) in
+  for i = pos to pos + len - 1 do
+    c := table.((!c lxor Char.code (String.unsafe_get s i)) land 0xFF) lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF
+
+let string s = update 0 s ~pos:0 ~len:(String.length s)
+
+(* Not Printf: checkpointing frames one CRC per log line on the sweep's
+   critical path, and [sprintf "%08x"] costs microseconds per call. *)
+let hex_digits = "0123456789abcdef"
+
+let to_hex crc =
+  let v = crc land 0xFFFFFFFF in
+  String.init 8 (fun i -> hex_digits.[(v lsr ((7 - i) * 4)) land 0xf])
+
+let of_hex s =
+  if String.length s <> 8 then None
+  else
+    match int_of_string_opt ("0x" ^ s) with
+    | Some v when v >= 0 && v <= 0xFFFFFFFF -> Some v
+    | _ -> None

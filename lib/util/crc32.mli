@@ -1,0 +1,20 @@
+(** CRC-32 (IEEE 802.3) checksums.
+
+    The integrity primitive behind the hardened profile format (one
+    whole-file checksum) and the sweep checkpoint log (one checksum per
+    line): cheap to compute, and strong enough to reject the truncated,
+    torn or bit-flipped inputs those formats must never silently accept. *)
+
+val string : string -> int
+(** CRC-32 of a whole string; the result fits in 32 bits. *)
+
+val update : int -> string -> pos:int -> len:int -> int
+(** [update crc s ~pos ~len] extends [crc] over a substring, so large
+    inputs can be checksummed incrementally: [string (a ^ b)] equals
+    [update (string a) b ~pos:0 ~len:(String.length b)]. *)
+
+val to_hex : int -> string
+(** Fixed-width lowercase hex (8 characters). *)
+
+val of_hex : string -> int option
+(** Inverse of [to_hex]; [None] unless exactly 8 hex characters. *)

@@ -1,0 +1,51 @@
+(** Structured faults: the error currency of the robustness layer.
+
+    Everything that can go wrong while loading user input or evaluating a
+    design point is classified into one of three shapes, so callers can
+    isolate, report and (for sweeps) checkpoint failures without losing
+    the successful work around them:
+
+    - [Bad_input]: malformed or inconsistent external data (a corrupt
+      profile file, a bad checkpoint line, an unknown config name), with
+      enough context to point at the offending line.
+    - [Numeric]: an evaluation that completed but produced a non-finite
+      or otherwise impossible number (NaN CPI, negative cycles).
+    - [Worker_crash]: an exception escaping a worker, captured with its
+      backtrace instead of aborting the whole batch. *)
+
+type t =
+  | Bad_input of { context : string; line : int option; message : string }
+  | Numeric of string
+  | Worker_crash of exn * Printexc.raw_backtrace
+
+exception Error of t
+(** The exception form, for boundaries that still raise. *)
+
+val bad_input : ?line:int -> context:string -> string -> t
+val numeric : string -> t
+val worker_crash : exn -> Printexc.raw_backtrace -> t
+
+val to_string : t -> string
+(** One-line human-readable rendering (context, line, message). *)
+
+val tag : t -> string
+(** Stable short kind name: ["bad-input"], ["numeric"] or ["crash"]. *)
+
+val to_line : t -> string
+(** [tag ^ " " ^ message] with newlines flattened — the checkpoint-log
+    encoding.  A [Worker_crash] loses its exception identity and
+    backtrace (they cannot round-trip through a text line). *)
+
+val of_line : tag:string -> string -> t option
+(** Inverse of [to_line]; [None] on an unknown tag. *)
+
+val raise_error : t -> 'a
+(** Raise the fault: a [Worker_crash] re-raises the original exception
+    with its original backtrace, everything else raises {!Error}. *)
+
+val or_raise : ('a, t) result -> 'a
+
+val protect : context:string -> (unit -> 'a) -> ('a, t) result
+(** Run [f], mapping any escaping exception to [Bad_input] with the given
+    context.  For wrapping parsers and I/O, not worker fan-out (use
+    [Parallel.map_result] there, which classifies as [Worker_crash]). *)

@@ -26,3 +26,15 @@ val mapi : ?jobs:int -> (int -> 'a -> 'b) -> 'a list -> 'b list
 
 val map_array : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 (** Array counterpart of [map]. *)
+
+val map_result : ?jobs:int -> ('a -> 'b) -> 'a list -> ('b, Fault.t) result list
+(** Fault-isolated [map]: an exception raised while evaluating one item
+    becomes [Error] for that item alone — [Fault.Error ft] is captured as
+    [ft] itself, anything else as [Fault.Worker_crash] with its backtrace
+    — and every other item still gets its [Ok] result.  Order and
+    determinism are those of [map]: the verdict for each item is
+    independent of [jobs]. *)
+
+val map_result_array :
+  ?jobs:int -> ('a -> 'b) -> 'a array -> ('b, Fault.t) result array
+(** Array counterpart of [map_result]. *)

@@ -476,6 +476,8 @@ let names = List.map fst all
 
 let find name = List.assoc name all
 
+let find_opt name = List.assoc_opt name all
+
 let memory_bound =
   [ "bwaves"; "GemsFDTD"; "lbm"; "leslie3d"; "libquantum"; "mcf"; "milc"; "omnetpp";
     "soplex"; "zeusmp" ]

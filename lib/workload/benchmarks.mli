@@ -13,7 +13,10 @@ val all : (string * Workload_spec.t) list
 val names : string list
 
 val find : string -> Workload_spec.t
-(** Raises [Not_found] for unknown names. *)
+(** Raises [Not_found] for unknown names; [find_opt] is the total form
+    for user-supplied names. *)
+
+val find_opt : string -> Workload_spec.t option
 
 val memory_bound : string list
 (** The subset with a dominant DRAM CPI component (mcf, milc, lbm, ...). *)

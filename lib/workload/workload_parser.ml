@@ -300,12 +300,15 @@ let parse text =
     in
     (match Workload_spec.validate spec with
     | Ok () -> Ok spec
-    | Error msg -> Error ("invalid spec: " ^ msg))
-  with Parse_error (line, msg) -> Error (Printf.sprintf "line %d: %s" line msg)
+    | Error msg ->
+      Error (Fault.bad_input ~context:"workload spec" ("invalid spec: " ^ msg)))
+  with Parse_error (line, msg) ->
+    Error (Fault.bad_input ~line ~context:"workload spec" msg)
 
 let load path =
   match open_in path with
-  | exception Sys_error msg -> Error msg
+  | exception Sys_error msg ->
+    Error (Fault.bad_input ~context:("workload spec " ^ path) msg)
   | ic ->
     Fun.protect
       ~finally:(fun () -> close_in ic)

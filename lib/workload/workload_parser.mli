@@ -36,11 +36,13 @@
     A [phase] directive opens a new phase; every phase must declare at
     least one [load] group and one [branch] group. *)
 
-val parse : string -> (Workload_spec.t, string) result
-(** Parse the format from a string; the error carries a line number. *)
+val parse : string -> (Workload_spec.t, Fault.t) result
+(** Parse the format from a string; the error is a [Fault.Bad_input]
+    carrying the offending line number. *)
 
-val load : string -> (Workload_spec.t, string) result
-(** Parse a file. *)
+val load : string -> (Workload_spec.t, Fault.t) result
+(** Parse a file; unreadable files also come back as [Fault.Bad_input],
+    never an exception. *)
 
 val to_text : Workload_spec.t -> string
 (** Render a spec back to the text format; [parse (to_text s)] accepts

@@ -238,6 +238,166 @@ let prop_memo_stack_matches_fresh =
              = Statstack.miss_ratio fresh ~cache_lines:n)
            [ 1; 2; 3; 7; 8; 16; 64; 512; 100_000 ])
 
+(* ---- Fault isolation, checkpointing, resume ---- *)
+
+let with_temp_ckpt f =
+  let path = Filename.temp_file "mipp" ".ckpt" in
+  Sys.remove path;
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let evals_of (outcome : Sweep.outcome) =
+  List.map
+    (function Ok e -> e | Error ft -> Alcotest.failf "point failed: %s" (Fault.to_string ft))
+    outcome.o_results
+
+let test_sweep_result_matches_legacy () =
+  let profile = Profiler.profile (Benchmarks.find "gromacs") ~seed:1
+      ~n_instructions:20_000 in
+  let legacy = Sweep.model_sweep ~profile mini_space in
+  match Sweep.model_sweep_result ~profile mini_space with
+  | Error ft -> Alcotest.failf "sweep failed: %s" (Fault.to_string ft)
+  | Ok outcome ->
+    Alcotest.(check int) "all ok" 3 outcome.o_ok;
+    Alcotest.(check int) "none failed" 0 outcome.o_failed;
+    Alcotest.(check bool) "bit-identical to legacy" true
+      (compare legacy (evals_of outcome) = 0)
+
+let test_poisoned_config_isolated () =
+  (* One config that crashes the model (ROB size 0 trips the chain
+     interpolator's invalid_arg) must not take down the other points. *)
+  let profile = Profiler.profile (Benchmarks.find "gcc") ~seed:1
+      ~n_instructions:20_000 in
+  let poisoned = Uarch.with_rob Uarch.reference 0 in
+  let configs = [ Uarch.low_power; poisoned; Uarch.reference ] in
+  match Sweep.model_sweep_result ~profile configs with
+  | Error ft -> Alcotest.failf "whole sweep failed: %s" (Fault.to_string ft)
+  | Ok outcome -> (
+    Alcotest.(check int) "two survive" 2 outcome.o_ok;
+    Alcotest.(check int) "one fails" 1 outcome.o_failed;
+    match outcome.o_results with
+    | [ Ok a; Error (Fault.Worker_crash (Invalid_argument _, _)); Ok b ] ->
+      Alcotest.(check int) "order kept" 0 a.sw_index;
+      Alcotest.(check int) "order kept" 2 b.sw_index;
+      (* the healthy points are exactly what a clean sweep yields *)
+      let clean = Sweep.model_sweep ~profile [ Uarch.low_power; Uarch.reference ] in
+      Alcotest.(check bool) "healthy values untouched" true
+        ((List.nth clean 0).sw_cpi = a.sw_cpi
+        && (List.nth clean 1).sw_cpi = b.sw_cpi)
+    | _ -> Alcotest.fail "unexpected result shape")
+
+let test_nan_config_is_numeric_fault () =
+  let profile = Profiler.profile (Benchmarks.find "gcc") ~seed:1
+      ~n_instructions:20_000 in
+  let nan_cfg = Uarch.with_dvfs Uarch.reference ~freq_ghz:Float.nan ~vdd:0.9 in
+  match Sweep.model_sweep_result ~profile [ Uarch.reference; nan_cfg ] with
+  | Error ft -> Alcotest.failf "whole sweep failed: %s" (Fault.to_string ft)
+  | Ok outcome -> (
+    match outcome.o_results with
+    | [ Ok _; Error ft ] ->
+      Alcotest.(check bool) "numeric or crash" true
+        (match ft with Fault.Numeric _ | Fault.Worker_crash _ -> true | _ -> false)
+    | _ -> Alcotest.fail "NaN design point was not isolated")
+
+let test_sweep_legacy_raises_on_poison () =
+  let profile = Profiler.profile (Benchmarks.find "gcc") ~seed:1
+      ~n_instructions:20_000 in
+  let poisoned = Uarch.with_rob Uarch.reference 0 in
+  match Sweep.model_sweep ~profile [ Uarch.reference; poisoned ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "legacy interface must re-raise the original exception"
+
+let test_kill_and_resume_bit_identical () =
+  (* Simulate a mid-sweep kill: checkpoint a prefix with a small batch
+     size, corrupt the tail (torn write), then resume.  The combined
+     results must equal the uninterrupted jobs:1 sweep bit for bit. *)
+  let profile = Profiler.profile (Benchmarks.find "gcc") ~seed:1
+      ~n_instructions:20_000 in
+  let space =
+    List.filteri (fun i _ -> i mod 9 = 0) Uarch.design_space (* 27 points *)
+  in
+  let uninterrupted =
+    evals_of
+      (Fault.or_raise (Sweep.model_sweep_result ~jobs:1 ~profile space))
+  in
+  with_temp_ckpt (fun path ->
+      (* phase 1: evaluate only the first 10 points, then "die" *)
+      let prefix = List.filteri (fun i _ -> i < 10) space in
+      let t =
+        Fault.or_raise
+          (Checkpoint.open_ path ~n_configs:(List.length space)
+             ~workload:profile.Profile.p_workload)
+      in
+      let prefix_outcome =
+        Fault.or_raise (Sweep.model_sweep_result ~jobs:1 ~profile prefix)
+      in
+      Checkpoint.append t
+        (List.map
+           (fun (e : Sweep.eval) ->
+             { Checkpoint.e_index = e.sw_index;
+               e_result =
+                 Ok
+                   { Checkpoint.nm_cpi = e.sw_cpi; nm_cycles = e.sw_cycles;
+                     nm_watts = e.sw_watts; nm_seconds = e.sw_seconds;
+                     nm_energy_j = e.sw_energy_j; nm_ed2p = e.sw_ed2p } })
+           (evals_of prefix_outcome));
+      Checkpoint.close t;
+      (* torn tail from the kill *)
+      let oc = open_out_gen [ Open_append ] 0o644 path in
+      output_string oc "0bad0bad ok 10 0x1.2p3";
+      close_out oc;
+      (* phase 2: resume *)
+      let resumed =
+        Fault.or_raise
+          (Sweep.model_sweep_result ~jobs:1 ~checkpoint:path ~resume:path
+             ~checkpoint_every:4 ~profile space)
+      in
+      Alcotest.(check int) "10 points restored" 10 resumed.o_resumed;
+      Alcotest.(check bool) "kill+resume bit-identical" true
+        (compare uninterrupted (evals_of resumed) = 0);
+      (* resuming again evaluates nothing new and still agrees *)
+      let all_cached =
+        Fault.or_raise (Sweep.model_sweep_result ~jobs:1 ~resume:path ~profile space)
+      in
+      Alcotest.(check int) "everything restored" (List.length space)
+        all_cached.o_resumed;
+      Alcotest.(check bool) "fully cached run identical" true
+        (compare uninterrupted (evals_of all_cached) = 0))
+
+let test_resume_rejects_other_sweep () =
+  let profile = Profiler.profile (Benchmarks.find "gcc") ~seed:1
+      ~n_instructions:20_000 in
+  with_temp_ckpt (fun path ->
+      let t = Fault.or_raise (Checkpoint.open_ path ~n_configs:7 ~workload:"mcf") in
+      Checkpoint.close t;
+      match Sweep.model_sweep_result ~resume:path ~profile mini_space with
+      | Error (Fault.Bad_input _) -> ()
+      | Error ft -> Alcotest.failf "wrong fault: %s" (Fault.to_string ft)
+      | Ok _ -> Alcotest.fail "resumed from a mismatched checkpoint")
+
+let test_sweep_rejects_invalid_profile () =
+  let profile = Profiler.profile (Benchmarks.find "gcc") ~seed:1
+      ~n_instructions:20_000 in
+  let broken = { profile with Profile.p_branch_fraction = Float.nan } in
+  match Sweep.model_sweep_result ~profile:broken mini_space with
+  | Error (Fault.Bad_input _) -> ()
+  | Error ft -> Alcotest.failf "wrong fault: %s" (Fault.to_string ft)
+  | Ok _ -> Alcotest.fail "swept a NaN-poisoned profile"
+
+let test_stop_on_first_fault_without_keep_going () =
+  let profile = Profiler.profile (Benchmarks.find "gcc") ~seed:1
+      ~n_instructions:20_000 in
+  let poisoned = Uarch.with_rob Uarch.reference 0 in
+  (* batch size 1 so the stop takes effect before the healthy tail *)
+  let outcome =
+    Fault.or_raise
+      (Sweep.model_sweep_result ~keep_going:false ~checkpoint_every:1 ~profile
+         [ poisoned; Uarch.reference; Uarch.low_power ])
+  in
+  Alcotest.(check int) "nothing after the fault" 0 outcome.o_ok;
+  Alcotest.(check int) "all failed or skipped" 3 outcome.o_failed
+
 (* ---- Empirical baseline ---- *)
 
 let test_empirical_fits_training_data () =
@@ -302,6 +462,25 @@ let () =
           Alcotest.test_case "statstack built once per sweep" `Quick
             test_statstack_built_once_per_sweep;
           QCheck_alcotest.to_alcotest prop_memo_stack_matches_fresh;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "result engine matches legacy" `Quick
+            test_sweep_result_matches_legacy;
+          Alcotest.test_case "poisoned config isolated" `Quick
+            test_poisoned_config_isolated;
+          Alcotest.test_case "NaN config is a per-point fault" `Quick
+            test_nan_config_is_numeric_fault;
+          Alcotest.test_case "legacy interface re-raises" `Quick
+            test_sweep_legacy_raises_on_poison;
+          Alcotest.test_case "kill and resume bit-identical" `Quick
+            test_kill_and_resume_bit_identical;
+          Alcotest.test_case "resume rejects other sweep" `Quick
+            test_resume_rejects_other_sweep;
+          Alcotest.test_case "invalid profile rejected" `Quick
+            test_sweep_rejects_invalid_profile;
+          Alcotest.test_case "stop without keep-going" `Quick
+            test_stop_on_first_fault_without_keep_going;
         ] );
       ( "empirical",
         [

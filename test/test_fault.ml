@@ -1,0 +1,195 @@
+(* The robustness layer: CRC-32, structured faults, fault-isolated
+   parallel map, and the crash-tolerant checkpoint log. *)
+
+(* ---- Crc32 ---- *)
+
+let test_crc32_vectors () =
+  (* The two standard IEEE 802.3 check values. *)
+  Alcotest.(check string) "check value" "cbf43926"
+    (Crc32.to_hex (Crc32.string "123456789"));
+  Alcotest.(check string) "empty" "00000000" (Crc32.to_hex (Crc32.string ""));
+  Alcotest.(check int) "incremental = whole"
+    (Crc32.string "hello world")
+    (Crc32.update (Crc32.string "hello ") "world" ~pos:0 ~len:5)
+
+let test_crc32_hex_roundtrip () =
+  List.iter
+    (fun s ->
+      let crc = Crc32.string s in
+      match Crc32.of_hex (Crc32.to_hex crc) with
+      | Some back -> Alcotest.(check int) ("hex round-trip " ^ s) crc back
+      | None -> Alcotest.fail "of_hex rejected to_hex output")
+    [ ""; "a"; "checkpoint line"; String.make 1000 'x' ];
+  Alcotest.(check bool) "rejects junk" true (Crc32.of_hex "zzzzzzzz" = None);
+  Alcotest.(check bool) "rejects short" true (Crc32.of_hex "abc" = None)
+
+(* ---- Fault ---- *)
+
+let test_fault_line_roundtrip () =
+  let faults =
+    [ Fault.bad_input ~line:7 ~context:"profile" "bad integer \"x\"";
+      Fault.numeric "design point 3: non-finite watts (nan)";
+      Fault.worker_crash (Failure "boom\nwith newline") (Printexc.get_callstack 0) ]
+  in
+  List.iter
+    (fun ft ->
+      let line = Fault.to_line ft in
+      Alcotest.(check bool) "single line" false (String.contains line '\n');
+      match String.index_opt line ' ' with
+      | None -> Alcotest.fail "to_line has no tag separator"
+      | Some i -> (
+        let tag = String.sub line 0 i in
+        let rest = String.sub line (i + 1) (String.length line - i - 1) in
+        match Fault.of_line ~tag rest with
+        | None -> Alcotest.failf "of_line rejected %S" line
+        | Some back ->
+          Alcotest.(check string) "tag survives" (Fault.tag ft) (Fault.tag back)))
+    faults;
+  Alcotest.(check bool) "unknown tag rejected" true
+    (Fault.of_line ~tag:"martian" "msg" = None)
+
+(* ---- Parallel.map_result ---- *)
+
+let test_map_result_isolation () =
+  let f x = if x mod 3 = 0 then failwith ("bad " ^ string_of_int x) else x * x in
+  List.iter
+    (fun jobs ->
+      let results = Parallel.map_result ~jobs f [ 1; 2; 3; 4; 5; 6; 7 ] in
+      Alcotest.(check int) "length" 7 (List.length results);
+      List.iteri
+        (fun i r ->
+          let x = i + 1 in
+          match r with
+          | Ok v ->
+            Alcotest.(check bool) "ok only off-multiples" true (x mod 3 <> 0);
+            Alcotest.(check int) "value" (x * x) v
+          | Error (Fault.Worker_crash (Failure msg, _)) ->
+            Alcotest.(check bool) "crash only on multiples" true (x mod 3 = 0);
+            Alcotest.(check string) "message" ("bad " ^ string_of_int x) msg
+          | Error ft ->
+            Alcotest.failf "wrong fault kind: %s" (Fault.to_string ft))
+        results)
+    [ 1; 4 ]
+
+let test_map_result_passes_faults_through () =
+  (* A function raising [Fault.Error] keeps its fault untouched instead
+     of being double-wrapped as a crash. *)
+  let f x = if x = 2 then Fault.raise_error (Fault.numeric "nan cpi") else x in
+  match Parallel.map_result f [ 1; 2 ] with
+  | [ Ok 1; Error (Fault.Numeric "nan cpi") ] -> ()
+  | _ -> Alcotest.fail "fault was rewrapped or reordered"
+
+let prop_map_result_jobs_invariant =
+  QCheck.Test.make ~name:"map_result verdicts independent of jobs" ~count:30
+    QCheck.(pair (int_range 0 40) (int_range 2 6))
+    (fun (n, jobs) ->
+      let xs = List.init n Fun.id in
+      let f x = if x mod 5 = 4 then failwith "die" else x + 1 in
+      let strip = List.map (Result.map_error Fault.tag) in
+      strip (Parallel.map_result ~jobs:1 f xs)
+      = strip (Parallel.map_result ~jobs f xs))
+
+(* ---- Checkpoint ---- *)
+
+let with_temp f =
+  let path = Filename.temp_file "mipp" ".ckpt" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+let numbers i =
+  { Checkpoint.nm_cpi = 1.0 +. (0.125 *. float_of_int i);
+    nm_cycles = float_of_int (1000 * i);
+    nm_watts = 3.5;
+    nm_seconds = 1e-6;
+    nm_energy_j = 1e-5;
+    nm_ed2p = 1e-17 }
+
+let test_checkpoint_roundtrip () =
+  with_temp (fun path ->
+      Sys.remove path;
+      let entries =
+        [ { Checkpoint.e_index = 0; e_result = Ok (numbers 0) };
+          { Checkpoint.e_index = 1;
+            e_result = Error (Fault.numeric "non-finite watts") };
+          { Checkpoint.e_index = 2; e_result = Ok (numbers 2) } ]
+      in
+      let t = Fault.or_raise (Checkpoint.open_ path ~n_configs:5 ~workload:"gcc") in
+      Checkpoint.append t entries;
+      Checkpoint.close t;
+      match Checkpoint.load path with
+      | Error ft -> Alcotest.failf "load failed: %s" (Fault.to_string ft)
+      | Ok (n, w, back) ->
+        Alcotest.(check int) "n_configs" 5 n;
+        Alcotest.(check string) "workload" "gcc" w;
+        Alcotest.(check int) "entries" 3 (List.length back);
+        List.iter2
+          (fun (a : Checkpoint.entry) (b : Checkpoint.entry) ->
+            Alcotest.(check int) "index" a.e_index b.e_index;
+            match (a.e_result, b.e_result) with
+            | Ok x, Ok y ->
+              (* hex floats round-trip bit-exactly *)
+              Alcotest.(check bool) "numbers identical" true (x = y)
+            | Error x, Error y ->
+              Alcotest.(check string) "fault tag" (Fault.tag x) (Fault.tag y)
+            | _ -> Alcotest.fail "Ok/Error mismatch")
+          entries back)
+
+let test_checkpoint_torn_tail () =
+  with_temp (fun path ->
+      Sys.remove path;
+      let t = Fault.or_raise (Checkpoint.open_ path ~n_configs:4 ~workload:"mcf") in
+      Checkpoint.append t
+        [ { Checkpoint.e_index = 0; e_result = Ok (numbers 0) };
+          { Checkpoint.e_index = 1; e_result = Ok (numbers 1) } ];
+      Checkpoint.close t;
+      (* simulate a kill mid-append: half a record, bad CRC *)
+      let oc = open_out_gen [ Open_append ] 0o644 path in
+      output_string oc "deadbeef ok 2 0x1.8p0 0x1.8";
+      close_out oc;
+      (match Checkpoint.load path with
+      | Error ft -> Alcotest.failf "torn tail broke load: %s" (Fault.to_string ft)
+      | Ok (_, _, entries) ->
+        Alcotest.(check (list int)) "torn record dropped" [ 0; 1 ]
+          (List.map (fun (e : Checkpoint.entry) -> e.e_index) entries));
+      (* reopening for append after the torn tail still works *)
+      let t = Fault.or_raise (Checkpoint.open_ path ~n_configs:4 ~workload:"mcf") in
+      Checkpoint.close t)
+
+let test_checkpoint_header_mismatch () =
+  with_temp (fun path ->
+      Sys.remove path;
+      let t = Fault.or_raise (Checkpoint.open_ path ~n_configs:3 ~workload:"gcc") in
+      Checkpoint.close t;
+      match Checkpoint.open_ path ~n_configs:7 ~workload:"gcc" with
+      | Ok t ->
+        Checkpoint.close t;
+        Alcotest.fail "accepted a checkpoint from a different sweep"
+      | Error (Fault.Bad_input _) -> ()
+      | Error ft -> Alcotest.failf "wrong fault: %s" (Fault.to_string ft))
+
+let () =
+  Alcotest.run "fault"
+    [
+      ( "crc32",
+        [
+          Alcotest.test_case "standard vectors" `Quick test_crc32_vectors;
+          Alcotest.test_case "hex round-trip" `Quick test_crc32_hex_roundtrip;
+        ] );
+      ( "fault",
+        [
+          Alcotest.test_case "line round-trip" `Quick test_fault_line_roundtrip;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "per-item isolation" `Quick test_map_result_isolation;
+          Alcotest.test_case "fault passthrough" `Quick
+            test_map_result_passes_faults_through;
+          QCheck_alcotest.to_alcotest prop_map_result_jobs_invariant;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "round-trip" `Quick test_checkpoint_roundtrip;
+          Alcotest.test_case "torn tail tolerated" `Quick test_checkpoint_torn_tail;
+          Alcotest.test_case "header mismatch refused" `Quick
+            test_checkpoint_header_mismatch;
+        ] );
+    ]

@@ -357,13 +357,13 @@ let profiles_equal (a : Profile.t) (b : Profile.t) =
 
 let test_profile_io_roundtrip () =
   let p = profile_of "milc" 30_000 in
-  let restored = Profile_io.of_string (Profile_io.to_string p) in
+  let restored = Fault.or_raise (Profile_io.of_string (Profile_io.to_string p)) in
   Alcotest.(check bool) "round-trip preserves everything" true
     (profiles_equal p restored)
 
 let test_profile_io_same_predictions () =
   let p = profile_of "astar" 30_000 in
-  let restored = Profile_io.of_string (Profile_io.to_string p) in
+  let restored = Fault.or_raise (Profile_io.of_string (Profile_io.to_string p)) in
   let a = Interval_model.predict Uarch.reference p in
   let b = Interval_model.predict Uarch.reference restored in
   Alcotest.(check (float 1e-9)) "identical prediction" a.pr_cycles b.pr_cycles
@@ -375,27 +375,93 @@ let test_profile_io_file_roundtrip () =
     ~finally:(fun () -> Sys.remove path)
     (fun () ->
       Profile_io.save path p;
-      let restored = Profile_io.load path in
+      let restored = Fault.or_raise (Profile_io.load path) in
       Alcotest.(check bool) "file round-trip" true (profiles_equal p restored))
 
+let expect_bad_input what = function
+  | Ok _ -> Alcotest.failf "accepted %s" what
+  | Error (Fault.Bad_input _) -> ()
+  | Error ft ->
+    Alcotest.failf "%s rejected with the wrong fault kind: %s" what
+      (Fault.to_string ft)
+
 let test_profile_io_rejects_garbage () =
-  (match Profile_io.of_string "not a profile" with
-  | exception Failure _ -> ()
-  | _ -> Alcotest.fail "accepted garbage");
-  match Profile_io.of_string "mipp-profile 999
-" with
-  | exception Failure msg ->
-    Alcotest.(check bool) "mentions version" true
-      (String.length msg > 0)
-  | _ -> Alcotest.fail "accepted wrong version"
+  expect_bad_input "garbage" (Profile_io.of_string "not a profile");
+  match Profile_io.of_string "mipp-profile 999\n" with
+  | Ok _ -> Alcotest.fail "accepted wrong version"
+  | Error ft ->
+    Alcotest.(check bool) "mentions newer version" true
+      (let msg = Fault.to_string ft in
+       let rec contains i =
+         i + 5 <= String.length msg && (String.sub msg i 5 = "newer" || contains (i + 1))
+       in
+       contains 0)
 
 let test_profile_io_rejects_truncation () =
   let p = profile_of "povray" 20_000 in
   let s = Profile_io.to_string p in
   let truncated = String.sub s 0 (String.length s / 2) in
-  match Profile_io.of_string truncated with
-  | exception Failure _ -> ()
-  | _ -> Alcotest.fail "accepted truncated profile"
+  expect_bad_input "truncated profile" (Profile_io.of_string truncated)
+
+let test_profile_io_rejects_bit_flip () =
+  (* Any single byte flip must trip the whole-file checksum. *)
+  let p = profile_of "bzip2" 20_000 in
+  let s = Bytes.of_string (Profile_io.to_string p) in
+  let positions = [ 20; Bytes.length s / 2; Bytes.length s - 20 ] in
+  List.iter
+    (fun i ->
+      let orig = Bytes.get s i in
+      let flipped = Char.chr (Char.code orig lxor 0x04) in
+      if flipped <> '\n' && orig <> '\n' then begin
+        Bytes.set s i flipped;
+        expect_bad_input
+          (Printf.sprintf "byte flip at %d" i)
+          (Profile_io.of_string (Bytes.to_string s));
+        Bytes.set s i orig
+      end)
+    positions
+
+let test_profile_io_validates_semantics () =
+  (* A structurally well-formed file with impossible numbers must be
+     rejected by the validation pass, not accepted silently.  Flip the
+     whole-run branch fraction to 2.0 and re-checksum so only semantic
+     validation can catch it. *)
+  let p = profile_of "gcc" 20_000 in
+  let doctored = { p with p_branch_fraction = 2.0 } in
+  expect_bad_input "impossible branch fraction"
+    (Profile_io.of_string (Profile_io.to_string doctored))
+
+(* Corruption fuzzer: no corruption — truncation anywhere, any byte
+   overwritten, whole lines deleted — may crash, hang, or be silently
+   accepted as a different profile.  The only acceptable outcomes are a
+   structured [Error _] or (for corruptions the format cannot see, e.g.
+   a no-op overwrite) a successful parse. *)
+let prop_profile_io_corruption_total =
+  let base = lazy (Profile_io.to_string (profile_of "gcc" 20_000)) in
+  QCheck.Test.make ~name:"corrupt profiles never escape the result type"
+    ~count:120
+    QCheck.(triple (int_range 0 2) (int_bound 10_000) (int_bound 255))
+    (fun (mode, pos, byte) ->
+      let s = Lazy.force base in
+      let n = String.length s in
+      let corrupted =
+        match mode with
+        | 0 -> String.sub s 0 (pos mod n) (* truncate *)
+        | 1 ->
+          (* overwrite one byte *)
+          let b = Bytes.of_string s in
+          Bytes.set b (pos mod n) (Char.chr byte);
+          Bytes.to_string b
+        | _ ->
+          (* delete one line *)
+          let lines = String.split_on_char '\n' s in
+          let k = pos mod List.length lines in
+          String.concat "\n" (List.filteri (fun i _ -> i <> k) lines)
+      in
+      match Profile_io.of_string corrupted with
+      | Ok _ | Error _ -> true
+      | exception e ->
+        QCheck.Test.fail_reportf "of_string raised %s" (Printexc.to_string e))
 
 (* ---- Sharded profiling ---- *)
 
@@ -514,6 +580,11 @@ let () =
           Alcotest.test_case "rejects garbage" `Quick test_profile_io_rejects_garbage;
           Alcotest.test_case "rejects truncation" `Quick
             test_profile_io_rejects_truncation;
+          Alcotest.test_case "rejects byte flips" `Quick
+            test_profile_io_rejects_bit_flip;
+          Alcotest.test_case "validates semantics" `Quick
+            test_profile_io_validates_semantics;
+          QCheck_alcotest.to_alcotest prop_profile_io_corruption_total;
         ] );
       ( "profiling",
         [

@@ -305,7 +305,7 @@ let test_parser_roundtrip_all_benchmarks () =
   List.iter
     (fun (name, spec) ->
       match Workload_parser.parse (Workload_parser.to_text spec) with
-      | Error msg -> Alcotest.failf "%s failed to round-trip: %s" name msg
+      | Error ft -> Alcotest.failf "%s failed to round-trip: %s" name (Fault.to_string ft)
       | Ok restored ->
         Alcotest.(check string) "name preserved" spec.Workload_spec.wname
           restored.wname;
@@ -343,7 +343,7 @@ phase main
 |}
   in
   match Workload_parser.parse text with
-  | Error msg -> Alcotest.failf "docs example rejected: %s" msg
+  | Error ft -> Alcotest.failf "docs example rejected: %s" (Fault.to_string ft)
   | Ok spec ->
     Alcotest.(check string) "name" "mybench" spec.wname;
     Alcotest.(check int) "phase_length" 100_000 spec.phase_length;
@@ -365,7 +365,8 @@ let test_parser_errors () =
   let expect_error text fragment =
     match Workload_parser.parse text with
     | Ok _ -> Alcotest.failf "accepted bad input (wanted %s)" fragment
-    | Error msg ->
+    | Error ft ->
+      let msg = Fault.to_string ft in
       let contains s sub =
         let n = String.length sub in
         let rec go i =
@@ -421,7 +422,7 @@ phase p
 "
   in
   match Workload_parser.parse text with
-  | Error msg -> Alcotest.failf "rejected: %s" msg
+  | Error ft -> Alcotest.failf "rejected: %s" (Fault.to_string ft)
   | Ok spec ->
     Alcotest.(check int) "2M" (2 * 1024 * 1024)
       spec.phases.(0).load_groups.(0).lg_footprint_bytes;
@@ -446,7 +447,7 @@ let test_shipped_workload_files () =
     List.iter
       (fun f ->
         match Workload_parser.load (Filename.concat dir f) with
-        | Error msg -> Alcotest.failf "%s: %s" f msg
+        | Error ft -> Alcotest.failf "%s: %s" f (Fault.to_string ft)
         | Ok spec ->
           let g = Workload_gen.create spec ~seed:1 in
           Workload_gen.skip g ~n_instructions:500;
