@@ -1749,6 +1749,72 @@ let sweep_faults () =
       close_out oc;
       print_endline "wrote BENCH_faults.json")
 
+(* ================= validate_accuracy: model-vs-simulator error ========= *)
+
+(* The standing accuracy regression: both engines over the simulation
+   subspace for the three checked-in workload files, per-component error
+   tables, and a hard gate on the aggregate mean absolute CPI error.
+   This is the bench-side twin of `mipp validate` (same library, same
+   JSON schema), so CI can gate on either. *)
+let validate_accuracy () =
+  Table.section "Model-vs-simulator accuracy (validation harness)";
+  let workload_dir =
+    match
+      List.find_opt
+        (fun d -> Sys.file_exists (Filename.concat d "streaming_fp.workload"))
+        [ "workloads"; "../workloads"; "../../workloads" ]
+    with
+    | Some d -> d
+    | None -> failwith "validate_accuracy: cannot locate the workloads/ directory"
+  in
+  let specs =
+    List.map
+      (fun name ->
+        match Workload_parser.load (Filename.concat workload_dir name) with
+        | Ok spec -> spec
+        | Error ft -> failwith ("validate_accuracy: " ^ Fault.to_string ft))
+      [ "branchy_interpreter.workload"; "pointer_soup.workload";
+        "streaming_fp.workload" ]
+  in
+  let configs = Validate.matrix_configs `Sim in
+  let reports =
+    List.map
+      (fun spec ->
+        match
+          Validate.run_workload ~jobs:Harness.jobs ~seed:Harness.seed
+            ~n_instructions:Harness.n_space ~spec configs
+        with
+        | Ok wr -> wr
+        | Error ft -> failwith ("validate_accuracy: " ^ Fault.to_string ft))
+      specs
+  in
+  let report = Validate.summarize reports in
+  List.iter (Validate.print_workload_report stdout) reports;
+  Printf.printf
+    "aggregate over %d points: mean signed CPI error %+.2f%%, MAPE %.2f%%\n"
+    report.Validate.rp_total_points
+    (100.0 *. report.rp_mean_signed)
+    (100.0 *. report.rp_mape);
+  (* Hard acceptance gates (ISSUE): every point must evaluate, and the
+     aggregate mean absolute CPI error must stay under the gate. *)
+  if report.rp_total_ok <> report.rp_total_points then
+    failwith
+      (Printf.sprintf "validate_accuracy: %d of %d points faulted"
+         (report.rp_total_points - report.rp_total_ok)
+         report.rp_total_points);
+  if not (Validate.passes_gate report ~gate:Validate.default_gate) then
+    failwith
+      (Printf.sprintf
+         "validate_accuracy: aggregate MAPE %.2f%% exceeds the %.0f%% gate"
+         (100.0 *. report.rp_mape)
+         (100.0 *. Validate.default_gate));
+  (match Validate.save_json ~gate:Validate.default_gate "BENCH_accuracy.json"
+           report
+   with
+  | Ok () -> ()
+  | Error ft -> failwith ("validate_accuracy: " ^ Fault.to_string ft));
+  print_endline "wrote BENCH_accuracy.json"
+
 (* ================= Driver ================= *)
 
 let experiments =
@@ -1791,6 +1857,8 @@ let experiments =
     ("dse_sweep", "parallel sweep engine + StatStack memoization", dse_sweep);
     ("profile_shards", "sharded profiling + fast-path histograms", profile_shards);
     ("sweep_faults", "fault isolation + checkpointed sweep overhead", sweep_faults);
+    ("validate_accuracy", "model-vs-simulator CPI-stack error + gate",
+     validate_accuracy);
   ]
 
 let () =

@@ -453,6 +453,114 @@ let sweep_cmd =
     Term.(const run $ bench_arg $ instructions_arg $ seed_arg $ jobs_arg
           $ profile_file_arg $ checkpoint_arg $ resume_arg $ keep_going_arg)
 
+(* ---- validate ---- *)
+
+let validate_cmd =
+  let vbenches_arg =
+    let doc = "Benchmark to validate (repeatable; see `mipp list`)." in
+    Arg.(
+      value & opt_all string [] & info [ "b"; "benchmark" ] ~docv:"BENCH" ~doc)
+  in
+  let vspec_files_arg =
+    let doc =
+      "Validate a workload loaded from a spec file (repeatable, combinable \
+       with -b)."
+    in
+    Arg.(value & opt_all string [] & info [ "spec-file" ] ~docv:"FILE" ~doc)
+  in
+  let matrix_arg =
+    let doc =
+      "Design matrix: 'quick' (width x ROB, 9 points), 'sim' (width x ROB x \
+       L3, 27 points) or 'full' (all 243 design-space points — every point \
+       is simulated, so this takes minutes)."
+    in
+    Arg.(value & opt string "sim" & info [ "matrix" ] ~docv:"MATRIX" ~doc)
+  in
+  let vinstructions_arg =
+    let doc = "Instructions to profile and simulate per point." in
+    Arg.(
+      value
+      & opt int Validate.default_n_instructions
+      & info [ "n"; "instructions" ] ~docv:"N" ~doc)
+  in
+  let gate_arg =
+    let doc =
+      "Fail (exit 1) when the aggregate mean absolute CPI error exceeds \
+       $(docv) (a fraction: 0.10 = 10%)."
+    in
+    Arg.(
+      value & opt float Validate.default_gate & info [ "gate" ] ~docv:"GATE" ~doc)
+  in
+  let json_arg =
+    let doc = "Write the machine-readable accuracy report (JSON) to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let run benches spec_files matrix n seed jobs checkpoint resume keep_going
+      gate output =
+    let matrix = or_die (Validate.matrix_of_string matrix) in
+    let configs = Validate.matrix_configs matrix in
+    let specs =
+      List.map find_bench benches
+      @ List.map (fun p -> or_die (Workload_parser.load p)) spec_files
+    in
+    let specs = if specs = [] then [ find_bench "gcc" ] else specs in
+    (* The checkpoint header names one workload; a shared log across
+       workloads would reject every workload but the first. *)
+    if (checkpoint <> None || resume <> None) && List.length specs > 1 then
+      or_die
+        (Error
+           (Fault.bad_input ~context:"validate"
+              "--checkpoint/--resume require exactly one workload"));
+    let t0 = Unix.gettimeofday () in
+    let reports =
+      List.map
+        (fun spec ->
+          or_die
+            (Validate.run_workload ~jobs ?checkpoint ?resume ~keep_going ~seed
+               ~n_instructions:n ~spec configs))
+        specs
+    in
+    let report = Validate.summarize reports in
+    Table.section
+      (Printf.sprintf
+         "Model-vs-simulator validation: %s matrix (%d points x %d workloads \
+          in %.2fs, %d jobs)"
+         (Validate.matrix_to_string matrix)
+         (List.length configs) (List.length specs)
+         (Unix.gettimeofday () -. t0)
+         jobs);
+    List.iter (Validate.print_workload_report stdout) reports;
+    Printf.printf
+      "aggregate: %d/%d points ok, mean signed CPI error %+.2f%%, MAPE \
+       %.2f%% (gate %.2f%%)\n"
+      report.Validate.rp_total_ok report.rp_total_points
+      (100.0 *. report.rp_mean_signed)
+      (100.0 *. report.rp_mape) (100.0 *. gate);
+    Option.iter
+      (fun path ->
+        or_die (Validate.save_json ~gate path report);
+        Printf.printf "wrote %s\n" path)
+      output;
+    if not (Validate.passes_gate report ~gate) then begin
+      Printf.eprintf
+        "mipp: accuracy gate failed: MAPE %.2f%% > %.2f%% (or no point \
+         succeeded)\n"
+        (100.0 *. report.rp_mape) (100.0 *. gate);
+      exit exit_partial_failure
+    end;
+    if report.rp_total_ok < report.rp_total_points then exit exit_partial_failure
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:
+         "Run the analytical model and the cycle simulator over the same \
+          design matrix and diff their CPI stacks (fault-isolated, \
+          checkpointable; exits 1 on faulted points or a failed accuracy \
+          gate)")
+    Term.(const run $ vbenches_arg $ vspec_files_arg $ matrix_arg
+          $ vinstructions_arg $ seed_arg $ jobs_arg $ checkpoint_arg
+          $ resume_arg $ keep_going_arg $ gate_arg $ json_arg)
+
 let () =
   let doc = "Micro-architecture independent processor performance & power modeling" in
   let info = Cmd.info "mipp" ~version:"1.0.0" ~doc in
@@ -460,4 +568,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; profile_cmd; predict_cmd; simulate_cmd; compare_cmd;
-            report_cmd; sweep_cmd; multicore_cmd ]))
+            report_cmd; sweep_cmd; multicore_cmd; validate_cmd ]))

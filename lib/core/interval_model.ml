@@ -9,14 +9,14 @@ type components = {
 let components_total c =
   c.c_base +. c.c_branch +. c.c_icache +. c.c_llc_hit +. c.c_dram
 
-let components_list c =
-  [
-    ("base", c.c_base);
-    ("branch", c.c_branch);
-    ("icache", c.c_icache);
-    ("llc-hit", c.c_llc_hit);
-    ("dram", c.c_dram);
-  ]
+(* The keyed view is the canonical one: every printed or diffed stack
+   goes through [Cpi_stack], so the labels cannot drift from the
+   simulator's (they are the same enumeration). *)
+let keyed_components c =
+  Cpi_stack.of_values ~base:c.c_base ~branch:c.c_branch ~icache:c.c_icache
+    ~llc_hit:c.c_llc_hit ~dram:c.c_dram
+
+let components_list c = Cpi_stack.labeled_alist (keyed_components c)
 
 type overrides = {
   ov_branch_missrate : float option;
@@ -83,6 +83,11 @@ type prediction = {
 }
 
 let cpi p = if p.pr_instructions = 0.0 then 0.0 else p.pr_cycles /. p.pr_instructions
+
+let cpi_stack p =
+  let k = keyed_components p.pr_components in
+  if p.pr_instructions = 0.0 then Cpi_stack.scale k 0.0
+  else Cpi_stack.scale k (1.0 /. p.pr_instructions)
 
 let dram_wait_cpi p =
   if p.pr_instructions = 0.0 then 0.0 else p.pr_components.c_dram /. p.pr_instructions

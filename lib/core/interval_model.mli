@@ -25,7 +25,13 @@ type components = {
 }
 
 val components_total : components -> float
+
+val keyed_components : components -> Cpi_stack.t
+(** The canonical keyed view; diffable against a simulator stack by
+    {!Cpi_stack.component} instead of positional label lists. *)
+
 val components_list : components -> (string * float) list
+(** [Cpi_stack.labeled_alist] of [keyed_components] — kept for printing. *)
 
 (** Measured inputs that replace the statistical models when present. *)
 type overrides = {
@@ -76,6 +82,11 @@ type prediction = {
 }
 
 val cpi : prediction -> float
+
+val cpi_stack : prediction -> Cpi_stack.t
+(** The predicted CPI stack per instruction: [keyed_components] scaled
+    by [1 / pr_instructions] (all-zero when no instructions ran). *)
+
 val dram_wait_cpi : prediction -> float
 
 val predict : ?options:options -> Uarch.t -> Profile.t -> prediction

@@ -8,9 +8,18 @@
    bit for bit.
 
    Line format:    <crc32-hex8> <payload>
-   Header payload: header 1 <n_configs> <workload>
-   Entry payloads: ok <index> <cpi> <cycles> <watts> <seconds> <energy> <ed2p>
+   Header payload: header 2 <n_configs> <width> <workload>
+                   (version 1 omitted <width>; it is implied 6, the
+                   design-sweep payload, so v1 logs still load)
+   Entry payloads: ok <index> <width raw-IEEE-754 floats>
                    err <index> <fault-line>   (see Fault.to_line)
+
+   The payload is a flat float vector of fixed per-file width rather
+   than a fixed record, so different sweeps can checkpoint different
+   shapes through one log format: the design sweep stores 6 numbers
+   (cpi/cycles/watts/seconds/energy/ed2p), the model-vs-simulator
+   validation matrix stores its wider model+sim stack payload.  The
+   width lives in the header and every record is checked against it.
 
    Result floats are stored as their raw IEEE-754 bit pattern, 16 hex
    digits: bit-exact by construction (including NaN payloads, which
@@ -18,7 +27,12 @@
    to serialize than printf [%h] — checkpointing sits on the sweep's
    critical path. *)
 
-type t = { fd : Unix.file_descr; path : string; mutable last_sync : float }
+type t = {
+  fd : Unix.file_descr;
+  path : string;
+  width : int;
+  mutable last_sync : float;
+}
 
 (* The micro-architecture-independent numbers of one evaluated design
    point — everything [Sweep.eval] holds except the config itself, which
@@ -34,7 +48,10 @@ type numbers = {
 
 type entry = { e_index : int; e_result : (numbers, Fault.t) result }
 
-let log_version = 1
+type vec_entry = { v_index : int; v_result : (float array, Fault.t) result }
+
+let log_version = 2
+let numbers_width = 6
 
 let framed payload = Crc32.to_hex (Crc32.string payload) ^ " " ^ payload ^ "\n"
 
@@ -47,8 +64,8 @@ let unframe line =
       let payload = String.sub line 9 (String.length line - 9) in
       if Crc32.string payload = crc then Some payload else None
 
-let header_payload ~n_configs ~workload =
-  Printf.sprintf "header %d %d %s" log_version n_configs workload
+let header_payload ~n_configs ~width ~workload =
+  Printf.sprintf "header %d %d %d %s" log_version n_configs width workload
 
 let hex_digits = "0123456789abcdef"
 
@@ -64,51 +81,46 @@ let float_of_bits_hex s =
   else
     Option.map Int64.float_of_bits (Int64.of_string_opt ("0x" ^ s))
 
-let add_entry_payload buf (e : entry) =
-  match e.e_result with
-  | Ok (n : numbers) ->
+let add_entry_payload buf (e : vec_entry) =
+  match e.v_result with
+  | Ok values ->
     Buffer.add_string buf "ok ";
-    Buffer.add_string buf (string_of_int e.e_index);
-    List.iter
+    Buffer.add_string buf (string_of_int e.v_index);
+    Array.iter
       (fun f ->
         Buffer.add_char buf ' ';
         add_float_bits buf f)
-      [ n.nm_cpi; n.nm_cycles; n.nm_watts; n.nm_seconds; n.nm_energy_j;
-        n.nm_ed2p ]
+      values
   | Error ft ->
-    Buffer.add_string buf (Printf.sprintf "err %d %s" e.e_index (Fault.to_line ft))
+    Buffer.add_string buf (Printf.sprintf "err %d %s" e.v_index (Fault.to_line ft))
 
-let parse_entry payload =
+let parse_entry ~width payload =
   match String.split_on_char ' ' payload with
-  | "ok" :: index :: cpi :: cycles :: watts :: seconds :: energy :: ed2p :: [] ->
-    Option.bind (int_of_string_opt index) (fun e_index ->
-        match
-          List.map float_of_bits_hex [ cpi; cycles; watts; seconds; energy; ed2p ]
-        with
-        | [ Some nm_cpi; Some nm_cycles; Some nm_watts; Some nm_seconds;
-            Some nm_energy_j; Some nm_ed2p ] ->
-          Some
-            { e_index;
-              e_result =
-                Ok { nm_cpi; nm_cycles; nm_watts; nm_seconds; nm_energy_j;
-                     nm_ed2p } }
-        | _ -> None)
+  | "ok" :: index :: floats when List.length floats = width ->
+    Option.bind (int_of_string_opt index) (fun v_index ->
+        let values = List.filter_map float_of_bits_hex floats in
+        if List.length values <> width then None
+        else Some { v_index; v_result = Ok (Array.of_list values) })
   | "err" :: index :: tag :: rest ->
-    Option.bind (int_of_string_opt index) (fun e_index ->
+    Option.bind (int_of_string_opt index) (fun v_index ->
         Option.map
-          (fun ft -> { e_index; e_result = Error ft })
+          (fun ft -> { v_index; v_result = Error ft })
           (Fault.of_line ~tag (String.concat " " rest)))
   | _ -> None
 
+(* Version 1 headers (pre-validation logs) carry no width field: every
+   v1 record is the 6-float design-sweep payload. *)
 let parse_header payload =
   match String.split_on_char ' ' payload with
-  | "header" :: version :: n_configs :: workload ->
-    Option.bind (int_of_string_opt version) (fun v ->
-        if v <> log_version then None
-        else
-          Option.map
-            (fun n -> (n, String.concat " " workload))
-            (int_of_string_opt n_configs))
+  | "header" :: "1" :: n_configs :: workload ->
+    Option.map
+      (fun n -> (n, numbers_width, String.concat " " workload))
+      (int_of_string_opt n_configs)
+  | "header" :: "2" :: n_configs :: width :: workload ->
+    Option.bind (int_of_string_opt n_configs) (fun n ->
+        Option.bind (int_of_string_opt width) (fun w ->
+            if w <= 0 then None
+            else Some (n, w, String.concat " " workload)))
   | _ -> None
 
 (* Group commit.  A completed [write] already survives the death of this
@@ -150,7 +162,7 @@ let read_lines path =
 (* Decode as many valid records as the file holds, stopping at the first
    line whose CRC does not check out (torn tail or corruption: everything
    after it is untrusted).  Also reports the byte length of the trusted
-   prefix, so [open_] can truncate a torn tail away before appending —
+   prefix, so [open_vec] can truncate a torn tail away before appending —
    otherwise the next record would be glued onto the partial line and
    lost with it. *)
 let decode ~path lines =
@@ -162,75 +174,93 @@ let decode ~path lines =
       Error
         (Fault.bad_input ~context:("checkpoint " ^ path) ~line:1
            "bad or corrupt header line")
-    | Some (n_configs, workload) ->
+    | Some (n_configs, width, workload) ->
       let entries = ref [] in
       let valid_bytes = ref (String.length header_line + 1) in
       (try
          List.iter
            (fun l ->
-             match Option.bind (unframe l) parse_entry with
-             | Some e when e.e_index >= 0 && e.e_index < n_configs ->
+             match Option.bind (unframe l) (parse_entry ~width) with
+             | Some e when e.v_index >= 0 && e.v_index < n_configs ->
                entries := e :: !entries;
                valid_bytes := !valid_bytes + String.length l + 1
              | _ -> raise Exit)
            rest
        with Exit -> ());
-      Ok (n_configs, workload, List.rev !entries, !valid_bytes))
+      Ok (n_configs, width, workload, List.rev !entries, !valid_bytes))
 
-let load path =
+let load_vec path =
   match read_lines path with
   | exception Sys_error msg ->
     Error (Fault.bad_input ~context:("checkpoint " ^ path) msg)
   | lines ->
-    Result.map (fun (n, w, entries, _) -> (n, w, entries)) (decode ~path lines)
+    Result.map
+      (fun (n, width, w, entries, _) -> (n, width, w, entries))
+      (decode ~path lines)
 
 (* Open for appending.  A fresh file gets the header; an existing file
-   must carry a matching header (same sweep shape), otherwise resuming
-   would silently mix results from different design spaces. *)
-let open_ path ~n_configs ~workload =
-  match
-    Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644
-  with
-  | exception Unix.Unix_error (err, _, _) ->
+   must carry a matching header (same sweep shape, same payload width),
+   otherwise resuming would silently mix results from different sweeps. *)
+let open_vec path ~n_configs ~width ~workload =
+  if width <= 0 then
     Error
-      (Fault.bad_input ~context:("checkpoint " ^ path) (Unix.error_message err))
-  | fd ->
-    (* An empty file — just created, or touched in advance — is a fresh
-       log, not a corrupt one. *)
-    if (Unix.fstat fd).st_size = 0 then begin
-      write_all fd (framed (header_payload ~n_configs ~workload));
-      Ok { fd; path; last_sync = Unix.gettimeofday () }
-    end
-    else begin
-      match Result.bind (try Ok (read_lines path) with Sys_error msg ->
-                Error (Fault.bad_input ~context:("checkpoint " ^ path) msg))
-              (decode ~path)
-      with
-      | Error ft ->
-        Unix.close fd;
-        Error ft
-      | Ok (n, w, _, _) when n <> n_configs || w <> workload ->
-        Unix.close fd;
-        Error
-          (Fault.bad_input ~context:("checkpoint " ^ path)
-             (Printf.sprintf
-                "header mismatch: file is for %d configs of %S, sweep has %d \
-                 configs of %S"
-                n w n_configs workload))
-      | Ok (_, _, _, valid_bytes) ->
-        (* Drop a torn tail (kill mid-append) so new records start on a
-           fresh line instead of being glued to — and lost with — the
-           partial one. *)
-        if (Unix.fstat fd).st_size > valid_bytes then
-          Unix.ftruncate fd valid_bytes;
-        Ok { fd; path; last_sync = Unix.gettimeofday () }
-    end
+      (Fault.bad_input ~context:("checkpoint " ^ path)
+         (Printf.sprintf "payload width must be positive, got %d" width))
+  else
+    match
+      Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644
+    with
+    | exception Unix.Unix_error (err, _, _) ->
+      Error
+        (Fault.bad_input ~context:("checkpoint " ^ path) (Unix.error_message err))
+    | fd ->
+      (* An empty file — just created, or touched in advance — is a fresh
+         log, not a corrupt one. *)
+      if (Unix.fstat fd).st_size = 0 then begin
+        write_all fd (framed (header_payload ~n_configs ~width ~workload));
+        Ok { fd; path; width; last_sync = Unix.gettimeofday () }
+      end
+      else begin
+        match Result.bind (try Ok (read_lines path) with Sys_error msg ->
+                  Error (Fault.bad_input ~context:("checkpoint " ^ path) msg))
+                (decode ~path)
+        with
+        | Error ft ->
+          Unix.close fd;
+          Error ft
+        | Ok (n, fw, w, _, _) when n <> n_configs || fw <> width || w <> workload
+          ->
+          Unix.close fd;
+          Error
+            (Fault.bad_input ~context:("checkpoint " ^ path)
+               (Printf.sprintf
+                  "header mismatch: file is for %d configs of %S (width %d), \
+                   sweep has %d configs of %S (width %d)"
+                  n w fw n_configs workload width))
+        | Ok (_, _, _, _, valid_bytes) ->
+          (* Drop a torn tail (kill mid-append) so new records start on a
+             fresh line instead of being glued to — and lost with — the
+             partial one. *)
+          if (Unix.fstat fd).st_size > valid_bytes then
+            Unix.ftruncate fd valid_bytes;
+          Ok { fd; path; width; last_sync = Unix.gettimeofday () }
+      end
 
 (* One write per batch, two buffers total: the scratch holds each payload
    long enough to CRC it, the batch buffer accumulates the framed lines.
    Per-entry string allocation here is measurable against a memoized
    analytical sweep (~25 us per design point). *)
-let append t entries =
+let append_vec t entries =
+  List.iter
+    (fun e ->
+      match e.v_result with
+      | Ok values when Array.length values <> t.width ->
+        Fault.raise_error
+          (Fault.bad_input ~context:("checkpoint " ^ t.path)
+             (Printf.sprintf "record width %d does not match file width %d"
+                (Array.length values) t.width))
+      | _ -> ())
+    entries;
   let scratch = Buffer.create 160 in
   let buf = Buffer.create (160 * List.length entries) in
   List.iter
@@ -251,3 +281,44 @@ let append t entries =
 let close t =
   maybe_sync t;
   Unix.close t.fd
+
+(* The design-sweep view: a fixed 6-float payload with named fields.
+   Kept as the primary interface for [Sweep]; it is a thin encode/decode
+   shim over the vector records. *)
+
+let vec_of_numbers (n : numbers) =
+  [| n.nm_cpi; n.nm_cycles; n.nm_watts; n.nm_seconds; n.nm_energy_j;
+     n.nm_ed2p |]
+
+let numbers_of_vec v =
+  if Array.length v <> numbers_width then None
+  else
+    Some
+      { nm_cpi = v.(0); nm_cycles = v.(1); nm_watts = v.(2);
+        nm_seconds = v.(3); nm_energy_j = v.(4); nm_ed2p = v.(5) }
+
+let vec_entry_of_entry (e : entry) =
+  { v_index = e.e_index; v_result = Result.map vec_of_numbers e.e_result }
+
+let entry_of_vec_entry (e : vec_entry) =
+  match e.v_result with
+  | Error ft -> Some { e_index = e.v_index; e_result = Error ft }
+  | Ok v ->
+    Option.map
+      (fun n -> { e_index = e.v_index; e_result = Ok n })
+      (numbers_of_vec v)
+
+let open_ path ~n_configs ~workload =
+  open_vec path ~n_configs ~width:numbers_width ~workload
+
+let append t entries = append_vec t (List.map vec_entry_of_entry entries)
+
+let load path =
+  Result.bind (load_vec path) (fun (n, width, w, entries) ->
+      if width <> numbers_width then
+        Error
+          (Fault.bad_input ~context:("checkpoint " ^ path)
+             (Printf.sprintf
+                "payload width %d is not a design-sweep log (width %d)" width
+                numbers_width))
+      else Ok (n, w, List.filter_map entry_of_vec_entry entries))

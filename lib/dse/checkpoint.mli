@@ -9,10 +9,53 @@
     invalidates only the last record, which [load] silently drops (the
     resumed sweep re-evaluates that point).  Result floats are stored as
     raw IEEE-754 bit patterns, making a kill-and-resume sweep
-    bit-identical to an uninterrupted one. *)
+    bit-identical to an uninterrupted one.
+
+    Records are flat float vectors of a fixed per-file width declared in
+    the header, so different sweeps checkpoint different payload shapes
+    through one format: the design sweep uses the named 6-float
+    {!numbers} view, the model-vs-simulator validation matrix uses the
+    generic {!vec_entry} interface with its wider payload.  Version-1
+    logs (written before the width field existed) load as width 6. *)
 
 type t
 (** An open checkpoint file, ready for appending. *)
+
+(** {1 Generic vector records} *)
+
+type vec_entry = { v_index : int; v_result : (float array, Fault.t) result }
+(** One record: the point's index and its outcome as a flat float
+    vector of the file's declared width.  Failed points are checkpointed
+    too, so a resume under [--keep-going] does not re-run known-bad
+    configs. *)
+
+val open_vec :
+  string -> n_configs:int -> width:int -> workload:string ->
+  (t, Fault.t) result
+(** [open_vec path ~n_configs ~width ~workload] creates [path] with a
+    header identifying the sweep (config count, payload width, workload
+    name), or — if the file exists — validates that its header matches,
+    refusing to mix records from a different sweep.  A torn tail left by
+    a kill mid-append is truncated away, so new records never get glued
+    onto a partial line. *)
+
+val append_vec : t -> vec_entry list -> unit
+(** Append records in one write, fsync'ing at most once per second
+    (group commit).  Raises [Fault.Error] on short writes or on an [Ok]
+    payload whose length differs from the file's width. *)
+
+val load_vec : string -> (int * int * string * vec_entry list, Fault.t) result
+(** [load_vec path] is [Ok (n_configs, width, workload, entries)].
+    Decoding stops at the first CRC-invalid line (torn tail): everything
+    before it is trusted, everything after discarded.  [Error] only for
+    unreadable files or a bad header. *)
+
+val close : t -> unit
+
+(** {1 The design-sweep view}
+
+    A named 6-float payload — the primary interface for [Sweep] — layered
+    over the vector records. *)
 
 (** The serializable numbers of one evaluated design point — everything
     [Sweep.eval] holds except the config, which the resuming sweep
@@ -27,27 +70,13 @@ type numbers = {
 }
 
 type entry = { e_index : int; e_result : (numbers, Fault.t) result }
-(** One record: the design point's index and its outcome.  Failed points
-    are checkpointed too, so a resume under [--keep-going] does not
-    re-run known-bad configs. *)
 
 val open_ :
   string -> n_configs:int -> workload:string -> (t, Fault.t) result
-(** [open_ path ~n_configs ~workload] creates [path] with a header
-    identifying the sweep (config count and workload name), or — if the
-    file exists — validates that its header matches, refusing to mix
-    records from a different sweep.  A torn tail left by a kill
-    mid-append is truncated away, so new records never get glued onto a
-    partial line. *)
+(** [open_vec] with the design sweep's payload width (6). *)
 
 val append : t -> entry list -> unit
-(** Append records in one write, fsync'ing at most once per second
-    (group commit).  Raises [Fault.Error] on short writes. *)
-
-val close : t -> unit
 
 val load : string -> (int * string * entry list, Fault.t) result
-(** [load path] is [Ok (n_configs, workload, entries)].  Decoding stops
-    at the first CRC-invalid line (torn tail): everything before it is
-    trusted, everything after discarded.  [Error] only for unreadable
-    files or a bad header. *)
+(** [load path] is [Ok (n_configs, workload, entries)] for a
+    design-sweep (width 6) log; [Error] on any other width. *)

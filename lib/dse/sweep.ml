@@ -43,26 +43,29 @@ type outcome = {
   o_resumed : int;
 }
 
-let numbers_of_eval e : Checkpoint.numbers =
-  {
-    nm_cpi = e.sw_cpi;
-    nm_cycles = e.sw_cycles;
-    nm_watts = e.sw_watts;
-    nm_seconds = e.sw_seconds;
-    nm_energy_j = e.sw_energy_j;
-    nm_ed2p = e.sw_ed2p;
-  }
+type 'a run = {
+  run_results : ('a, Fault.t) result list;
+  run_ok : int;
+  run_failed : int;
+  run_resumed : int;
+}
 
-let eval_of_numbers config ~index (n : Checkpoint.numbers) =
+let vec_of_eval e =
+  [| e.sw_cpi; e.sw_cycles; e.sw_watts; e.sw_seconds; e.sw_energy_j;
+     e.sw_ed2p |]
+
+let eval_payload_width = 6
+
+let eval_of_vec config ~index v =
   {
     sw_index = index;
     sw_config = config;
-    sw_cpi = n.nm_cpi;
-    sw_cycles = n.nm_cycles;
-    sw_watts = n.nm_watts;
-    sw_seconds = n.nm_seconds;
-    sw_energy_j = n.nm_energy_j;
-    sw_ed2p = n.nm_ed2p;
+    sw_cpi = v.(0);
+    sw_cycles = v.(1);
+    sw_watts = v.(2);
+    sw_seconds = v.(3);
+    sw_energy_j = v.(4);
+    sw_ed2p = v.(5);
   }
 
 (* A design point whose prediction came out NaN/infinite is a fault of
@@ -85,38 +88,39 @@ let check_numeric (e : eval) =
 
 let default_checkpoint_every = 64
 
-(* Shared sweep driver.  [eval_point index config] does the real work;
-   everything here is bookkeeping: restoring checkpointed results,
-   evaluating the remaining points in fault-isolated batches, appending
-   each batch to the checkpoint before moving on, and stopping early
-   (remaining points marked skipped, not checkpointed) when a fault
-   occurs without [keep_going]. *)
-let run_sweep ?(jobs = 1) ?checkpoint ?resume
+(* Generic fault-isolated driver, shared by the design sweeps and the
+   model-vs-simulator validation matrix.  [eval_point i] does the real
+   work for point [i] of [n_points]; [encode]/[decode] round-trip a
+   point's payload through the width-[width] checkpoint vector (the
+   caller reconstructs anything config-shaped from the index); [check]
+   rejects evaluations the caller considers invalid (e.g. non-finite
+   numbers) as per-point faults.  Everything here is bookkeeping:
+   restoring checkpointed results, evaluating the remaining points in
+   fault-isolated batches, appending each batch to the checkpoint before
+   moving on, and stopping early (remaining points marked skipped, not
+   checkpointed) when a fault occurs without [keep_going]. *)
+let run_generic ?(jobs = 1) ?checkpoint ?resume
     ?(checkpoint_every = default_checkpoint_every) ?(keep_going = true)
-    ~workload ~eval_point configs =
-  let configs_a = Array.of_list configs in
-  let n = Array.length configs_a in
-  let known : point_result option array = Array.make n None in
+    ~workload ~n_points ~width ~encode ~decode ~check ~eval_point () =
+  let n = n_points in
+  let known = Array.make n None in
   let resumed = ref 0 in
   let restore path =
-    match Checkpoint.load path with
+    match Checkpoint.load_vec path with
     | Error ft -> Error ft
-    | Ok (nc, w, _) when nc <> n || w <> workload ->
+    | Ok (nc, fw, w, _) when nc <> n || fw <> width || w <> workload ->
       Error
         (Fault.bad_input ~context:("checkpoint " ^ path)
            (Printf.sprintf
-              "cannot resume: file is for %d configs of %S, this sweep has %d \
-               configs of %S"
-              nc w n workload))
-    | Ok (_, _, entries) ->
+              "cannot resume: file is for %d configs of %S (width %d), this \
+               sweep has %d configs of %S (width %d)"
+              nc w fw n workload width))
+    | Ok (_, _, _, entries) ->
       List.iter
-        (fun (e : Checkpoint.entry) ->
-          if known.(e.e_index) = None then incr resumed;
-          known.(e.e_index) <-
-            Some
-              (Result.map
-                 (eval_of_numbers configs_a.(e.e_index) ~index:e.e_index)
-                 e.e_result))
+        (fun (e : Checkpoint.vec_entry) ->
+          if known.(e.v_index) = None then incr resumed;
+          known.(e.v_index) <-
+            Some (Result.map (decode ~index:e.v_index) e.v_result))
         entries;
       Ok ()
   in
@@ -130,7 +134,8 @@ let run_sweep ?(jobs = 1) ?checkpoint ?resume
       match checkpoint with
       | None -> Ok None
       | Some path ->
-        Result.map Option.some (Checkpoint.open_ path ~n_configs:n ~workload)
+        Result.map Option.some
+          (Checkpoint.open_vec path ~n_configs:n ~width ~workload)
     in
     match ckpt with
     | Error ft -> Error ft
@@ -176,24 +181,18 @@ let run_sweep ?(jobs = 1) ?checkpoint ?resume
                                  i))))
                   batch
               else begin
+                let results = Parallel.map_result ~jobs eval_point batch in
                 let results =
-                  Parallel.map_result ~jobs
-                    (fun i -> eval_point i configs_a.(i))
-                    batch
-                in
-                let results =
-                  List.map
-                    (fun r -> Result.bind r check_numeric)
-                    results
+                  List.map (fun r -> Result.bind r check) results
                 in
                 List.iter2 (fun i r -> known.(i) <- Some r) batch results;
                 Option.iter
                   (fun c ->
-                    Checkpoint.append c
+                    Checkpoint.append_vec c
                       (List.map2
                          (fun i r ->
-                           { Checkpoint.e_index = i;
-                             e_result = Result.map numbers_of_eval r })
+                           { Checkpoint.v_index = i;
+                             v_result = Result.map encode r })
                          batch results))
                   ckpt;
                 if (not keep_going) && List.exists Result.is_error results then
@@ -209,11 +208,32 @@ let run_sweep ?(jobs = 1) ?checkpoint ?resume
           let ok = List.length (List.filter Result.is_ok results) in
           Ok
             {
-              o_results = results;
-              o_ok = ok;
-              o_failed = n - ok;
-              o_resumed = !resumed;
+              run_results = results;
+              run_ok = ok;
+              run_failed = n - ok;
+              run_resumed = !resumed;
             }))
+
+(* The design-sweep instance of the generic driver: payload is the six
+   [eval] numbers, configs are reconstructed from the point index. *)
+let run_sweep ?jobs ?checkpoint ?resume ?checkpoint_every ?keep_going ~workload
+    ~eval_point configs =
+  let configs_a = Array.of_list configs in
+  let n = Array.length configs_a in
+  Result.map
+    (fun r ->
+      {
+        o_results = r.run_results;
+        o_ok = r.run_ok;
+        o_failed = r.run_failed;
+        o_resumed = r.run_resumed;
+      })
+    (run_generic ?jobs ?checkpoint ?resume ?checkpoint_every ?keep_going
+       ~workload ~n_points:n ~width:eval_payload_width ~encode:vec_of_eval
+       ~decode:(fun ~index v -> eval_of_vec configs_a.(index) ~index v)
+       ~check:check_numeric
+       ~eval_point:(fun i -> eval_point i configs_a.(i))
+       ())
 
 let model_sweep_result ?(options = Interval_model.default_options) ?jobs
     ?checkpoint ?resume ?checkpoint_every ?keep_going ~profile configs =

@@ -41,6 +41,43 @@ val default_checkpoint_every : int
     cheap enough — writes are group-committed, fsync'd at most once per
     second — to stay within a few percent of an uncheckpointed sweep. *)
 
+(** Outcome of a {!run_generic} evaluation: one result per point, in
+    point order, independent of [jobs]. *)
+type 'a run = {
+  run_results : ('a, Fault.t) result list;
+  run_ok : int;
+  run_failed : int;  (** faulted plus (without keep-going) skipped points *)
+  run_resumed : int;  (** points restored from the resume checkpoint *)
+}
+
+val run_generic :
+  ?jobs:int ->
+  ?checkpoint:string ->
+  ?resume:string ->
+  ?checkpoint_every:int ->
+  ?keep_going:bool ->
+  workload:string ->
+  n_points:int ->
+  width:int ->
+  encode:('a -> float array) ->
+  decode:(index:int -> float array -> 'a) ->
+  check:('a -> ('a, Fault.t) result) ->
+  eval_point:(int -> 'a) ->
+  unit ->
+  ('a run, Fault.t) result
+(** The fault-isolated, checkpointed, parallel engine underneath
+    {!model_sweep_result} / {!sim_sweep_result}, exposed for other
+    point-matrix evaluations (the model-vs-simulator validation harness
+    in [lib/validate] is built on it).
+
+    [eval_point i] evaluates point [i] of [n_points] — a raised
+    exception or a value rejected by [check] becomes a per-point
+    [Error], never a dead run.  [encode]/[decode] round-trip a payload
+    through the width-[width] checkpoint vector; anything config-shaped
+    is reconstructed from the index by the caller's [decode].  Same
+    checkpoint/resume/keep-going semantics as the design sweeps, same
+    bit-identical resume guarantee. *)
+
 val model_sweep_result :
   ?options:Interval_model.options ->
   ?jobs:int ->

@@ -8,14 +8,13 @@ type stack = {
 
 let stack_total s = s.s_base +. s.s_branch +. s.s_icache +. s.s_llc_hit +. s.s_dram
 
-let stack_components s =
-  [
-    ("base", s.s_base);
-    ("branch", s.s_branch);
-    ("icache", s.s_icache);
-    ("llc-hit", s.s_llc_hit);
-    ("dram", s.s_dram);
-  ]
+(* Same keyed representation as Interval_model.keyed_components, so a
+   model stack and a simulator stack diff by Cpi_stack.component. *)
+let keyed_stack s =
+  Cpi_stack.of_values ~base:s.s_base ~branch:s.s_branch ~icache:s.s_icache
+    ~llc_hit:s.s_llc_hit ~dram:s.s_dram
+
+let stack_components s = Cpi_stack.labeled_alist (keyed_stack s)
 
 type t = {
   r_name : string;
@@ -40,6 +39,11 @@ type t = {
 let cpi t =
   if t.r_instructions = 0 then 0.0
   else float_of_int t.r_cycles /. float_of_int t.r_instructions
+
+let cpi_stack t =
+  let k = keyed_stack t.r_stack in
+  if t.r_instructions = 0 then Cpi_stack.scale k 0.0
+  else Cpi_stack.scale k (1.0 /. float_of_int t.r_instructions)
 
 let cpi_per_uop t =
   if t.r_uops = 0 then 0.0 else float_of_int t.r_cycles /. float_of_int t.r_uops

@@ -12,7 +12,13 @@ type stack = {
 }
 
 val stack_total : stack -> float
+
+val keyed_stack : stack -> Cpi_stack.t
+(** The canonical keyed view — the same {!Cpi_stack.component} keys the
+    analytical model emits, so the two engines diff structurally. *)
+
 val stack_components : stack -> (string * float) list
+(** [Cpi_stack.labeled_alist] of [keyed_stack] — kept for printing. *)
 
 type t = {
   r_name : string;
@@ -37,6 +43,10 @@ type t = {
 
 val cpi : t -> float
 (** Cycles per instruction. *)
+
+val cpi_stack : t -> Cpi_stack.t
+(** The measured CPI stack per instruction: [keyed_stack r_stack] scaled
+    by [1 / r_instructions] (all-zero when no instructions ran). *)
 
 val cpi_per_uop : t -> float
 

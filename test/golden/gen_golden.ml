@@ -1,0 +1,59 @@
+(* Golden-snapshot generator.
+
+   Renders everything numeric drift should be visible in — the profile's
+   headline statistics, both engines' keyed CPI stacks, and both power
+   stacks — for one workload file, deterministically (fixed seed, fixed
+   instruction budget, fixed decimals).  The dune rules diff this output
+   against the checked-in *.expected files under `dune runtest`, so any
+   change to profiler, model, simulator or power model shows up as a
+   reviewable `dune promote` diff instead of silently shifting results.
+
+   Four decimals keeps the diff readable while still catching relative
+   drift of ~1e-4 on O(1) quantities — far below the model-error scale
+   anyone could tune against. *)
+
+let seed = 1
+let n_instructions = 30_000
+
+let pf fmt = Printf.printf fmt
+
+let print_stack label stack =
+  pf "%s:\n" label;
+  List.iter
+    (fun (name, v) -> pf "  %-8s %10.4f\n" name v)
+    (Cpi_stack.labeled_alist stack);
+  pf "  %-8s %10.4f\n" "total" (Cpi_stack.total stack)
+
+let print_power label (b : Power.breakdown) =
+  pf "%s:\n" label;
+  List.iter
+    (fun (c, w) -> pf "  %-16s %10.4f W\n" (Power.component_to_string c) w)
+    b.components;
+  pf "  %-16s %10.4f W\n" "total" b.total_watts
+
+let () =
+  let path = Sys.argv.(1) in
+  let spec = Fault.or_raise (Workload_parser.load path) in
+  let profile = Profiler.profile spec ~seed ~n_instructions in
+  let u = Uarch.reference in
+  let pred = Interval_model.predict u profile in
+  let sim = Simulator.run u spec ~seed ~n_instructions in
+  pf "workload: %s\n" spec.Workload_spec.wname;
+  pf "seed: %d  instructions: %d  uarch: %s\n\n" seed n_instructions u.name;
+  pf "profile:\n";
+  pf "  uops/instruction   %8.4f\n" profile.p_uops_per_instruction;
+  pf "  branch fraction    %8.4f\n" profile.p_branch_fraction;
+  pf "  branch entropy     %8.4f\n" profile.p_entropy;
+  pf "  data accesses      %8d\n" profile.p_data_accesses;
+  pf "  data cold lines    %8d\n" profile.p_data_cold;
+  pf "  inst cold fraction %8.4f\n" profile.p_inst_cold_fraction;
+  pf "  microtraces        %8d\n" (Array.length profile.p_microtraces);
+  pf "\n";
+  print_stack "model CPI stack (per instruction)"
+    (Interval_model.cpi_stack pred);
+  pf "model CPI: %.4f\n\n" (Interval_model.cpi pred);
+  print_stack "simulator CPI stack (per instruction)" (Sim_result.cpi_stack sim);
+  pf "simulator CPI: %.4f\n\n" (Sim_result.cpi sim);
+  print_power "model power stack" (Power.estimate u pred.pr_activity);
+  pf "\n";
+  print_power "simulator power stack" (Power.estimate u sim.r_activity)

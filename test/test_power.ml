@@ -99,6 +99,80 @@ let prop_power_positive =
       b.total_watts > 0.0 && b.static_watts > 0.0
       && List.for_all (fun (_, w) -> w >= 0.0) b.components)
 
+(* ---- Property suite: monotonicity and conservation laws ---- *)
+
+(* Same work at a higher frequency is the same energy in less time:
+   average dynamic power — and with static untouched by frequency,
+   total power — can only go up. *)
+let prop_power_monotone_in_frequency =
+  QCheck.Test.make ~name:"power is monotone in frequency (fixed activity)"
+    ~count:100
+    QCheck.(pair (float_range 0.5 4.0) (float_range 0.01 2.0))
+    (fun (f_lo, df) ->
+      let at f = Uarch.with_dvfs Uarch.reference ~freq_ghz:f ~vdd:0.9 in
+      let a = activity () in
+      let lo = Power.estimate (at f_lo) a in
+      let hi = Power.estimate (at (f_lo +. df)) a in
+      hi.dynamic_watts >= lo.dynamic_watts
+      && hi.total_watts >= lo.total_watts
+      && Float.abs (hi.static_watts -. lo.static_watts)
+         <= 1e-9 *. Float.max 1.0 lo.static_watts)
+
+let prop_power_monotone_in_vdd =
+  QCheck.Test.make ~name:"power is monotone in Vdd (static and dynamic)"
+    ~count:100
+    QCheck.(pair (float_range 0.5 1.2) (float_range 0.01 0.4))
+    (fun (v_lo, dv) ->
+      let at v = Uarch.with_dvfs Uarch.reference ~freq_ghz:2.66 ~vdd:v in
+      let a = activity () in
+      let lo = Power.estimate (at v_lo) a in
+      let hi = Power.estimate (at (v_lo +. dv)) a in
+      hi.static_watts >= lo.static_watts
+      && hi.dynamic_watts >= lo.dynamic_watts
+      && hi.total_watts >= lo.total_watts)
+
+let prop_breakdown_sums_everywhere =
+  QCheck.Test.make
+    ~name:"stacked components sum to total across the design space" ~count:100
+    QCheck.(pair (int_range 0 242) (float_range 0.1 10.0))
+    (fun (i, scale) ->
+      let u = List.nth Uarch.design_space i in
+      let b = Power.estimate u (activity ~uops:(2e6 *. scale) ()) in
+      let sum = List.fold_left (fun a (_, w) -> a +. w) 0.0 b.components in
+      Float.abs (sum -. b.total_watts) <= 1e-9 *. Float.max 1.0 b.total_watts
+      && Float.abs ((b.static_watts +. b.dynamic_watts) -. b.total_watts)
+         <= 1e-9 *. Float.max 1.0 b.total_watts)
+
+(* The model's predicted activity must be physical: per-level access
+   ratios (the activity factors feeding the cache/DRAM energies) in
+   [0, 1] down the hierarchy, and dispatched micro-ops bounded by the
+   dispatch width every cycle. *)
+let model_activity =
+  let profile =
+    lazy
+      (Profiler.profile (Benchmarks.find "gcc") ~seed:1 ~n_instructions:20_000)
+  in
+  fun i ->
+    let u = List.nth Uarch.design_space i in
+    (u, (Interval_model.predict u (Lazy.force profile)).pr_activity)
+
+let prop_predicted_activity_factors_physical =
+  QCheck.Test.make
+    ~name:"predicted activity factors lie in [0,1] down the hierarchy"
+    ~count:30
+    QCheck.(int_range 0 242)
+    (fun i ->
+      let u, a = model_activity i in
+      let ratio num den = if den <= 0.0 then 0.0 else num /. den in
+      let in_unit r = r >= 0.0 && r <= 1.0 +. 1e-9 in
+      a.a_cycles > 0.0 && a.a_uops > 0.0
+      && in_unit (ratio a.a_l2_accesses (a.a_l1d_accesses +. a.a_l1i_accesses))
+      && in_unit (ratio a.a_l3_accesses a.a_l2_accesses)
+      && in_unit (ratio a.a_dram_accesses a.a_l3_accesses)
+      && in_unit (ratio a.a_branch_lookups a.a_uops)
+      && ratio a.a_uops a.a_cycles
+         <= float_of_int u.Uarch.core.dispatch_width +. 1e-9)
+
 let () =
   Alcotest.run "power"
     [
@@ -115,5 +189,12 @@ let () =
           Alcotest.test_case "energy and ED2P" `Quick test_energy_and_ed2p;
           Alcotest.test_case "component names" `Quick test_component_names_unique;
           QCheck_alcotest.to_alcotest prop_power_positive;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_power_monotone_in_frequency;
+          QCheck_alcotest.to_alcotest prop_power_monotone_in_vdd;
+          QCheck_alcotest.to_alcotest prop_breakdown_sums_everywhere;
+          QCheck_alcotest.to_alcotest prop_predicted_activity_factors_physical;
         ] );
     ]
