@@ -131,16 +131,24 @@ let warmup_arg =
   Arg.(
     value & opt int Profiler.default_warmup & info [ "warmup" ] ~docv:"N" ~doc)
 
+let binary_arg =
+  let doc =
+    "Write the profile in the compact binary format (version 3, about a \
+     quarter the size of the text form; `mipp` reads both transparently)."
+  in
+  Arg.(value & flag & info [ "binary" ] ~doc)
+
 let profile_cmd =
-  let run bench n seed output spec_file jobs warmup =
+  let run bench n seed output spec_file jobs warmup binary =
     let spec = find_workload bench spec_file in
     let t0 = Unix.gettimeofday () in
     let p = Profiler.profile spec ~jobs ~warmup ~seed ~n_instructions:n in
     let dt = Unix.gettimeofday () -. t0 in
     (match output with
     | Some path ->
-      Profile_io.save path p;
-      Printf.printf "profile written to %s\n" path
+      Profile_io.save ~binary path p;
+      Printf.printf "profile written to %s%s\n" path
+        (if binary then " (binary)" else "")
     | None -> ());
     Table.section
       (Printf.sprintf "Profile of %s (%d instructions, %.2fs)"
@@ -173,7 +181,7 @@ let profile_cmd =
   in
   Cmd.v (Cmd.info "profile" ~doc:"Profile a workload (micro-architecture independent)")
     Term.(const run $ bench_arg $ instructions_arg $ seed_arg $ output_arg
-          $ spec_file_arg $ profile_jobs_arg $ warmup_arg)
+          $ spec_file_arg $ profile_jobs_arg $ warmup_arg $ binary_arg)
 
 (* ---- predict / simulate / compare ---- *)
 
@@ -402,9 +410,150 @@ let keep_going_arg =
   in
   Arg.(value & flag & info [ "keep-going" ] ~doc)
 
+let space_arg =
+  let doc =
+    "Design space to sweep: 'default' (the 243 points of Table 6.3) or \
+     'large' (the 1,451,520-point generation-scale space).  Spaces other \
+     than 'default' are always streamed."
+  in
+  Arg.(value & opt string "default" & info [ "space" ] ~docv:"SPACE" ~doc)
+
+let stream_arg =
+  let doc =
+    "Stream the sweep: build each config from its index on the fly \
+     (constant memory in the point count) and checkpoint per block instead \
+     of per point.  Implied by --space other than 'default', --limit, \
+     --offset and --block-size."
+  in
+  Arg.(value & flag & info [ "stream" ] ~doc)
+
+let limit_arg =
+  let doc =
+    "Sweep at most $(docv) design points (streaming; combine with --offset \
+     to shard a space across machines)."
+  in
+  Arg.(value & opt (some int) None & info [ "limit" ] ~docv:"N" ~doc)
+
+let offset_arg =
+  let doc = "Start the sweep at design-point index $(docv) (streaming)." in
+  Arg.(value & opt (some int) None & info [ "offset" ] ~docv:"K" ~doc)
+
+let block_size_arg =
+  let doc =
+    "Points per streaming block: the unit of parallel fan-out, \
+     checkpointing and resume."
+  in
+  Arg.(value & opt (some int) None & info [ "block-size" ] ~docv:"B" ~doc)
+
+let refine_arg =
+  let doc =
+    "Pareto-guided hierarchical refinement: evaluate a coarse axis-subgrid, \
+     then refine around the front until it stabilizes — thousands of points \
+     instead of the whole space.  The front is approximate (the exhaustive \
+     front's sensitivity/specificity/HVR are validated >= 0.95 in the test \
+     suite)."
+  in
+  Arg.(value & flag & info [ "refine" ] ~doc)
+
+let run_refine_sweep ~space ~profile:p ~jobs =
+  let t0 = Unix.gettimeofday () in
+  let r = or_die (Refine.model_refine ~jobs ~profile:p space) in
+  let dt = Unix.gettimeofday () -. t0 in
+  Table.section
+    (Printf.sprintf
+       "Refined sweep: %s over %s (%d of %d points in %d rounds, %d failed, \
+        %.2fs)"
+       p.Profile.p_workload (Config_space.name space) r.Refine.rf_evaluated
+       (Config_space.size space) r.rf_rounds r.rf_failed dt);
+  Table.print
+    ~header:[ "Pareto design"; "time (ms)"; "power (W)"; "CPI" ]
+    ~rows:
+      (List.map
+         (fun (e : Sweep.eval) ->
+           [
+             e.Sweep.sw_config.name;
+             Table.fmt_f ~decimals:2 (1000.0 *. e.sw_seconds);
+             Table.fmt_f ~decimals:1 e.sw_watts;
+             Table.fmt_f e.sw_cpi;
+           ])
+         r.rf_front_evals);
+  if r.rf_failed > 0 then exit exit_partial_failure
+
+let run_stream_sweep ~space ~profile:p ~jobs ~checkpoint ~resume ~keep_going
+    ~offset ~limit ~block_size =
+  (* The streaming checkpoint doubles as resume; accept --resume as the
+     log path when --checkpoint was not given. *)
+  let checkpoint =
+    match (checkpoint, resume) with Some c, _ -> Some c | None, r -> r
+  in
+  let t0 = Unix.gettimeofday () in
+  let s =
+    or_die
+      (Sweep.model_sweep_stream ~jobs ?checkpoint ?block_size ~keep_going
+         ?offset ?length:limit ~profile:p space)
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  (match s.Sweep.ss_sample_fault with
+  | Some ft ->
+    Printf.eprintf "mipp: design point failed (first of %d): %s\n"
+      s.ss_failed (Fault.to_string ft)
+  | None -> ());
+  let fresh = s.ss_evaluated_blocks * s.ss_block_size in
+  Table.section
+    (Printf.sprintf
+       "Streaming sweep: %s over %s[%d, %d) (%d ok / %d failed%s in %.2fs, \
+        %d jobs, %.0f points/s)"
+       p.Profile.p_workload (Config_space.name space) s.ss_offset
+       (s.ss_offset + s.ss_length) s.ss_ok s.ss_failed
+       (if s.ss_resumed_blocks > 0 then
+          Printf.sprintf ", %d/%d blocks resumed" s.ss_resumed_blocks
+            s.ss_n_blocks
+        else "")
+       dt jobs
+       (if dt > 0.0 then float_of_int (min fresh s.ss_length) /. dt else 0.0));
+  if s.ss_ok > 0 then begin
+    let mean sum = sum /. float_of_int s.ss_ok in
+    Printf.printf "  mean CPI %.3f, mean power %.1f W\n"
+      (mean s.ss_sum_cpi) (mean s.ss_sum_watts);
+    let best label fmt = function
+      | Some (id, v) ->
+        let cfg = Config_space.config_of_index space id in
+        Printf.printf "  best %-9s %s  (%s)\n" label (fmt v) cfg.Uarch.name
+      | None -> ()
+    in
+    best "time" (fun v -> Printf.sprintf "%.2f ms" (1000.0 *. v))
+      s.ss_best_seconds;
+    best "energy" (fun v -> Printf.sprintf "%.3f J" v) s.ss_best_energy;
+    best "ED^2P" (fun v -> Printf.sprintf "%.3e Js^2" v) s.ss_best_ed2p
+  end;
+  Table.print
+    ~header:[ "Pareto design"; "time (ms)"; "power (W)"; "CPI" ]
+    ~rows:
+      (List.map
+         (fun (e : Sweep.eval) ->
+           [
+             e.Sweep.sw_config.name;
+             Table.fmt_f ~decimals:2 (1000.0 *. e.sw_seconds);
+             Table.fmt_f ~decimals:1 e.sw_watts;
+             Table.fmt_f e.sw_cpi;
+           ])
+         s.ss_front_evals);
+  if s.ss_failed > 0 || s.ss_skipped_blocks > 0 then exit exit_partial_failure
+
 let sweep_cmd =
-  let run bench n seed jobs profile_file checkpoint resume keep_going =
+  let run bench n seed jobs profile_file checkpoint resume keep_going
+      space_name stream limit offset block_size refine =
     let p = obtain_profile ~bench ~n ~seed profile_file in
+    let space = or_die (Config_space.find space_name) in
+    let streaming =
+      stream || space_name <> "default" || limit <> None || offset <> None
+      || block_size <> None
+    in
+    if refine then run_refine_sweep ~space ~profile:p ~jobs
+    else if streaming then
+      run_stream_sweep ~space ~profile:p ~jobs ~checkpoint ~resume ~keep_going
+        ~offset ~limit ~block_size
+    else begin
     let t0 = Unix.gettimeofday () in
     let outcome =
       or_die
@@ -444,14 +593,17 @@ let sweep_cmd =
              ])
            front);
     if outcome.o_failed > 0 then exit exit_partial_failure
+    end
   in
   Cmd.v
     (Cmd.info "sweep"
        ~doc:
-         "Analytical 243-point design-space sweep (checkpointable, \
-          fault-isolated)")
+         "Analytical design-space sweep (checkpointable, fault-isolated; \
+          --stream scales to million-point generated spaces)")
     Term.(const run $ bench_arg $ instructions_arg $ seed_arg $ jobs_arg
-          $ profile_file_arg $ checkpoint_arg $ resume_arg $ keep_going_arg)
+          $ profile_file_arg $ checkpoint_arg $ resume_arg $ keep_going_arg
+          $ space_arg $ stream_arg $ limit_arg $ offset_arg $ block_size_arg
+          $ refine_arg)
 
 (* ---- validate ---- *)
 

@@ -115,6 +115,125 @@ let monotone (m1, m2, m3) =
   let m3 = Float.min m2 (Float.max 0.0 m3) in
   (m1, m2, m3)
 
+(* ---- Per-domain memo tables for the sweep inner loop ----
+
+   A streaming sweep evaluates millions of design points against one
+   profile, and most per-point work inside [evaluate_microtrace] is a pure
+   function of (micro-trace, a few config axes): the per-level miss ratios
+   depend only on the cache capacities, the dispatch-port schedule and
+   unit limits only on the micro-op mix and issue width, and the branch
+   resolution time only on (width, ROB, frontend depth, average latency,
+   interval length).  Memoize each per domain — no locks on the hot path —
+   keyed by the profile identity ([Histogram.id] of its instruction-reuse
+   histogram, process-unique per loaded profile) so distinct profiles
+   never alias.  Values are deterministic functions of immutable inputs,
+   so the tables never need invalidation; they are only consulted in
+   [`Separate] mode (the [`Combined] micro-trace is rebuilt per call and
+   has no stable identity).
+
+   Bit-identity discipline: every cached quantity is either the verbatim
+   result of the uncached computation, or is recombined with float
+   operations in exactly the order the uncached code uses — see
+   [cached_average_latency], whose Load term is re-inserted into the fold
+   of [Dispatch_model.average_latency] at the same position. *)
+
+module Hot_memo = struct
+  type disp = {
+    d_units : Uarch.functional_unit list;  (* physical-identity guard *)
+    d_n_ports : int;  (* guard for hand-built cores *)
+    d_total : int;
+    d_n : float;
+    d_prefix : float;  (* latency fold up to (excluding) the Load term *)
+    d_n_load : float;
+    d_suffix : float array;  (* per-class terms after Load, in fold order *)
+    d_busiest : float;  (* max port activity of the greedy schedule *)
+    d_units_raw : float;  (* unit-limit fold result; [infinity] if none *)
+  }
+
+  type t = {
+    disp : (int * int * int, disp) Hashtbl.t;
+        (* (profile, mt, width) -> dispatch entry *)
+    ratios : (int * int * int * int * int, float * float * float) Hashtbl.t;
+        (* (profile, slot, l1, l2, l3 lines) -> per-level miss ratios;
+           slot = 2*mt for loads, 2*mt+1 for stores, -1 for the i-stream *)
+    branch : (int * int * int * int * int * int64 * int64, float) Hashtbl.t;
+        (* (profile, mt, width, rob, frontend,
+            bits avg_latency, bits between) -> Branch_model.penalty *)
+  }
+
+  let slot =
+    Domain.DLS.new_key (fun () ->
+        {
+          disp = Hashtbl.create 512;
+          ratios = Hashtbl.create 4096;
+          branch = Hashtbl.create 4096;
+        })
+
+  let get () = Domain.DLS.get slot
+
+  let build_disp (u : Uarch.t) ~(mix : Isa.Class_counts.t) =
+    let core = u.core in
+    let term cls =
+      let n = float_of_int (Isa.Class_counts.get mix cls) in
+      let lat =
+        match cls with
+        | Isa.Load -> 0.0 (* unreachable: [split] stops at Load *)
+        | Isa.Store -> 1.0
+        | _ -> float_of_int (Uarch.functional_unit_for core cls).unit_latency
+      in
+      n *. lat
+    in
+    let rec split acc = function
+      | [] -> (acc, [])
+      | Isa.Load :: rest -> (acc, rest)
+      | cls :: rest -> split (acc +. term cls) rest
+    in
+    let prefix, after = split 0.0 Isa.all_classes in
+    let total = Isa.Class_counts.total mix in
+    let n = float_of_int total in
+    let activity = Dispatch_model.port_schedule u ~mix in
+    let busiest = Array.fold_left Float.max 0.0 activity in
+    let units_raw =
+      List.fold_left
+        (fun acc (fu : Uarch.functional_unit) ->
+          let ni = float_of_int (Isa.Class_counts.get mix fu.serves) in
+          if ni <= 0.0 then acc
+          else begin
+            let u_count = float_of_int fu.unit_count in
+            let limit =
+              if fu.pipelined then n *. u_count /. ni
+              else n *. u_count /. (ni *. float_of_int fu.unit_latency)
+            in
+            Float.min acc limit
+          end)
+        infinity core.functional_units
+    in
+    {
+      d_units = core.functional_units;
+      d_n_ports = core.n_ports;
+      d_total = total;
+      d_n = n;
+      d_prefix = prefix;
+      d_n_load = float_of_int (Isa.Class_counts.get mix Isa.Load);
+      d_suffix = Array.of_list (List.map term after);
+      d_busiest = busiest;
+      d_units_raw = units_raw;
+    }
+
+  (* [Dispatch_model.average_latency] with the mix-dependent constants
+     pre-folded: the Load term is inserted at its original position in the
+     class fold, so the result is bit-identical. *)
+  let cached_average_latency d ~load_latency =
+    if d.d_total = 0 then 1.0
+    else begin
+      let w = ref (d.d_prefix +. (d.d_n_load *. load_latency)) in
+      for i = 0 to Array.length d.d_suffix - 1 do
+        w := !w +. d.d_suffix.(i)
+      done;
+      !w /. d.d_n
+    end
+end
+
 type mt_eval = {
   ev_cycles : float;
   ev_components : components;
@@ -133,6 +252,10 @@ type mt_eval = {
 let evaluate_microtrace (opts : options) (u : Uarch.t) (profile : Profile.t)
     ~inst_ratios ~cold_corr ~load_stack ~store_stack (mt : Profile.microtrace) =
   let core = u.core in
+  (* Per-domain memo tables; only meaningful in [`Separate] mode, where
+     [mt] is one of the profile's own (immutable, indexed) micro-traces. *)
+  let memo = match opts.combine with `Separate -> Some (Hot_memo.get ()) | `Combined -> None in
+  let pkey = Histogram.id profile.p_reuse_inst in
   let n_uops = float_of_int mt.mt_uops in
   let n_instr = float_of_int mt.mt_instructions in
   let loads = float_of_int (Isa.Class_counts.get mt.mt_mix Isa.Load) in
@@ -141,18 +264,33 @@ let evaluate_microtrace (opts : options) (u : Uarch.t) (profile : Profile.t)
   (* ---- Cache miss ratios (per load / per store / per instruction) ----
      The survival structures are config-independent (lazy: built at most
      once per profile, skipped entirely under overrides); only the
-     capacity lookups below depend on [u]. *)
+     capacity lookups below depend on [u] — and only through the per-level
+     line counts, so the ratios memoize per (micro-trace, capacities). *)
+  let cached_ratios slot stack =
+    match memo with
+    | None -> data_ratios u (Lazy.force stack)
+    | Some m -> (
+      let key =
+        (pkey, slot, lines u.caches.l1d, lines u.caches.l2, lines u.caches.l3)
+      in
+      match Hashtbl.find_opt m.Hot_memo.ratios key with
+      | Some r -> r
+      | None ->
+        let r = data_ratios u (Lazy.force stack) in
+        Hashtbl.replace m.Hot_memo.ratios key r;
+        r)
+  in
   let m1, m2, m3 =
     monotone
       (match opts.overrides.ov_load_miss_ratios with
       | Some r -> r
-      | None -> data_ratios u (Lazy.force load_stack))
+      | None -> cached_ratios (2 * mt.mt_index) load_stack)
   in
   let _s1, _s2, s3 =
     monotone
       (match opts.overrides.ov_store_miss_ratios with
       | Some r -> r
-      | None -> data_ratios u (Lazy.force store_stack))
+      | None -> cached_ratios ((2 * mt.mt_index) + 1) store_stack)
   in
   let i1, i2, i3 =
     monotone
@@ -171,7 +309,45 @@ let evaluate_microtrace (opts : options) (u : Uarch.t) (profile : Profile.t)
     if opts.use_critical_path then Profile.chain_at mt.mt_chains ~which:`Cp core.rob_size
     else 0.0
   in
-  let limits = Dispatch_model.compute u ~mix:mt.mt_mix ~critical_path ~load_latency in
+  (* [Dispatch_model.compute] with the mix-only parts memoized per
+     (micro-trace, width); the recombination mirrors [compute]'s guards
+     and float operations exactly, so limits are bit-identical. *)
+  let avg_latency, limits =
+    match memo with
+    | None ->
+      ( Dispatch_model.average_latency u ~mix:mt.mt_mix ~load_latency,
+        Dispatch_model.compute u ~mix:mt.mt_mix ~critical_path ~load_latency )
+    | Some m ->
+      let key = (pkey, mt.mt_index, core.dispatch_width) in
+      let d =
+        match Hashtbl.find_opt m.Hot_memo.disp key with
+        | Some d
+          when d.Hot_memo.d_units == core.functional_units
+               && d.Hot_memo.d_n_ports = core.n_ports ->
+          d
+        | _ ->
+          let d = Hot_memo.build_disp u ~mix:mt.mt_mix in
+          Hashtbl.replace m.Hot_memo.disp key d;
+          d
+      in
+      let lim_width = float_of_int core.dispatch_width in
+      let lat = Hot_memo.cached_average_latency d ~load_latency in
+      let lim_dependences =
+        if critical_path <= 0.0 then lim_width
+        else float_of_int core.rob_size /. (lat *. critical_path)
+      in
+      let lim_ports =
+        if d.Hot_memo.d_n <= 0.0 then lim_width
+        else if d.Hot_memo.d_busiest <= 0.0 then lim_width
+        else d.Hot_memo.d_n /. d.Hot_memo.d_busiest
+      in
+      let lim_units =
+        if d.Hot_memo.d_n <= 0.0 then lim_width
+        else if d.Hot_memo.d_units_raw = infinity then lim_width
+        else d.Hot_memo.d_units_raw
+      in
+      (lat, { Dispatch_model.lim_width; lim_dependences; lim_ports; lim_units })
+  in
   let limits =
     if opts.use_port_contention then limits
     else { limits with lim_ports = limits.lim_width; lim_units = limits.lim_width }
@@ -191,7 +367,6 @@ let evaluate_microtrace (opts : options) (u : Uarch.t) (profile : Profile.t)
   in
   let branches = float_of_int mt.mt_branches in
   let mispredicts = branches *. missrate in
-  let avg_latency = Dispatch_model.average_latency u ~mix:mt.mt_mix ~load_latency in
   let branch_cycles =
     if mispredicts <= 0.0 then 0.0
     else begin
@@ -208,10 +383,32 @@ let evaluate_microtrace (opts : options) (u : Uarch.t) (profile : Profile.t)
       let memory_resolution =
         Float.min 1.0 llc_on_path *. (0.5 *. float_of_int u.memory.dram_latency)
       in
-      mispredicts
-      *. (Branch_model.penalty ~chains:mt.mt_chains ~avg_latency ~core
+      (* The leaky-bucket resolution time is an iterative fixed point —
+         by far the most expensive pure function here — and depends only
+         on (micro-trace, width, ROB, frontend depth, avg latency,
+         interval length); memoize the exact float result per domain. *)
+      let base_penalty =
+        match memo with
+        | None ->
+          Branch_model.penalty ~chains:mt.mt_chains ~avg_latency ~core
             ~uops_between_mispredicts:between
-          +. memory_resolution)
+        | Some m -> (
+          let key =
+            ( pkey, mt.mt_index, core.dispatch_width, core.rob_size,
+              core.frontend_depth, Int64.bits_of_float avg_latency,
+              Int64.bits_of_float between )
+          in
+          match Hashtbl.find_opt m.Hot_memo.branch key with
+          | Some p -> p
+          | None ->
+            let p =
+              Branch_model.penalty ~chains:mt.mt_chains ~avg_latency ~core
+                ~uops_between_mispredicts:between
+            in
+            Hashtbl.replace m.Hot_memo.branch key p;
+            p)
+      in
+      mispredicts *. (base_penalty +. memory_resolution)
     end
   in
   (* ---- I-cache component ---- *)
@@ -414,18 +611,35 @@ let combined_microtrace (profile : Profile.t) : Profile.microtrace =
   }
 
 let predict ?(options = default_options) (u : Uarch.t) (profile : Profile.t) =
-  let inst_ratios = inst_miss_ratios u profile in
+  let inst_ratios =
+    (* Same per-(capacities) memoization as the data ratios; slot -1 keeps
+       the i-stream distinct from every micro-trace slot. *)
+    let m = Hot_memo.get () in
+    let key =
+      ( Histogram.id profile.p_reuse_inst, -1,
+        lines u.caches.l1i, lines u.caches.l2, lines u.caches.l3 )
+    in
+    match Hashtbl.find_opt m.Hot_memo.ratios key with
+    | Some r -> r
+    | None ->
+      let r = inst_miss_ratios u profile in
+      Hashtbl.replace m.Hot_memo.ratios key r;
+      r
+  in
   let cold_corr = Profile.cold_correction profile in
   let evals =
     match options.combine with
     | `Separate ->
-      (* Memoized per-profile stacks: a sweep over N configs builds each
-         survival structure once, not N times. *)
+      (* Memoized per-profile stacks, resolved once per domain into a
+         mutex-free [Profile.hot] view: a sweep over N configs builds each
+         survival structure once and pays no lock after that.  The lazies
+         keep overrides from touching the stacks at all. *)
+      let hot = lazy (Profile.hot profile) in
       Array.map
-        (fun mt ->
+        (fun (mt : Profile.microtrace) ->
           evaluate_microtrace options u profile ~inst_ratios ~cold_corr
-            ~load_stack:(lazy (Profile.load_stack profile mt))
-            ~store_stack:(lazy (Profile.store_stack profile mt))
+            ~load_stack:(lazy (Lazy.force hot).Profile.hot_load.(mt.mt_index))
+            ~store_stack:(lazy (Lazy.force hot).Profile.hot_store.(mt.mt_index))
             mt)
         profile.p_microtraces
     | `Combined ->
@@ -457,44 +671,72 @@ let predict ?(options = default_options) (u : Uarch.t) (profile : Profile.t) =
   let scale_of =
     match options.combine with `Combined -> fun _ -> 1.0 | `Separate -> scale_of
   in
-  let total f = Array.fold_left (fun acc ev -> acc +. (scale_of ev *. f ev)) 0.0 evals in
-  let cycles = total (fun ev -> ev.ev_cycles) in
-  let instructions = total (fun ev -> ev.ev_instructions) in
-  let uops = total (fun ev -> ev.ev_uops) in
-  let mispredicts = total (fun ev -> ev.ev_mispredicts) in
-  let lm1 = total (fun ev -> let a, _, _ = ev.ev_load_misses in a) in
-  let lm2 = total (fun ev -> let _, b, _ = ev.ev_load_misses in b) in
-  let lm3 = total (fun ev -> let _, _, c = ev.ev_load_misses in c) in
-  let dram_loads = total (fun ev -> ev.ev_dram_loads) in
-  let dram_stores = total (fun ev -> ev.ev_dram_stores) in
+  (* One pass over the evaluations, accumulating every total with the same
+     per-element expression and summation order as independent
+     [fold_left]s would (each accumulator advances once per element, in
+     array order, so dropping the per-total closures changes no bits). *)
+  let cycles = ref 0.0 and instructions = ref 0.0 and uops = ref 0.0 in
+  let mispredicts = ref 0.0 in
+  let lm1 = ref 0.0 and lm2 = ref 0.0 and lm3 = ref 0.0 in
+  let dram_loads = ref 0.0 and dram_stores = ref 0.0 in
+  let c_base = ref 0.0 and c_branch = ref 0.0 and c_icache = ref 0.0 in
+  let c_llc_hit = ref 0.0 and c_dram = ref 0.0 in
+  let mlp_weighted = ref 0.0 and mlp_plain = ref 0.0 in
+  let l_width = ref 0.0 and l_deps = ref 0.0 and l_ports = ref 0.0 in
+  let l_units = ref 0.0 in
+  for k = 0 to Array.length evals - 1 do
+    let ev = evals.(k) in
+    let s = scale_of ev in
+    cycles := !cycles +. (s *. ev.ev_cycles);
+    instructions := !instructions +. (s *. ev.ev_instructions);
+    uops := !uops +. (s *. ev.ev_uops);
+    mispredicts := !mispredicts +. (s *. ev.ev_mispredicts);
+    (let a, b, c = ev.ev_load_misses in
+     lm1 := !lm1 +. (s *. a);
+     lm2 := !lm2 +. (s *. b);
+     lm3 := !lm3 +. (s *. c));
+    dram_loads := !dram_loads +. (s *. ev.ev_dram_loads);
+    dram_stores := !dram_stores +. (s *. ev.ev_dram_stores);
+    c_base := !c_base +. (s *. ev.ev_components.c_base);
+    c_branch := !c_branch +. (s *. ev.ev_components.c_branch);
+    c_icache := !c_icache +. (s *. ev.ev_components.c_icache);
+    c_llc_hit := !c_llc_hit +. (s *. ev.ev_components.c_llc_hit);
+    c_dram := !c_dram +. (s *. ev.ev_components.c_dram);
+    mlp_weighted := !mlp_weighted +. (s *. (ev.ev_mlp *. ev.ev_dram_loads));
+    mlp_plain := !mlp_plain +. ev.ev_mlp;
+    l_width := !l_width +. (s *. (ev.ev_limits.lim_width *. ev.ev_uops));
+    l_deps := !l_deps +. (s *. (ev.ev_limits.lim_dependences *. ev.ev_uops));
+    l_ports := !l_ports +. (s *. (ev.ev_limits.lim_ports *. ev.ev_uops));
+    l_units := !l_units +. (s *. (ev.ev_limits.lim_units *. ev.ev_uops))
+  done;
+  let cycles = !cycles and instructions = !instructions and uops = !uops in
+  let mispredicts = !mispredicts in
+  let lm1 = !lm1 and lm2 = !lm2 and lm3 = !lm3 in
+  let dram_loads = !dram_loads and dram_stores = !dram_stores in
   let comps =
     {
-      c_base = total (fun ev -> ev.ev_components.c_base);
-      c_branch = total (fun ev -> ev.ev_components.c_branch);
-      c_icache = total (fun ev -> ev.ev_components.c_icache);
-      c_llc_hit = total (fun ev -> ev.ev_components.c_llc_hit);
-      c_dram = total (fun ev -> ev.ev_components.c_dram);
+      c_base = !c_base;
+      c_branch = !c_branch;
+      c_icache = !c_icache;
+      c_llc_hit = !c_llc_hit;
+      c_dram = !c_dram;
     }
   in
   (* DRAM-weighted MLP; plain average when there are no misses. *)
   let mlp =
-    let weighted = total (fun ev -> ev.ev_mlp *. ev.ev_dram_loads) in
-    if dram_loads > 0.0 then weighted /. dram_loads
+    if dram_loads > 0.0 then !mlp_weighted /. dram_loads
     else begin
       let n = Array.length evals in
-      if n = 0 then 1.0
-      else Array.fold_left (fun a ev -> a +. ev.ev_mlp) 0.0 evals /. float_of_int n
+      if n = 0 then 1.0 else !mlp_plain /. float_of_int n
     end
   in
   let limits =
     let w = Float.max 1.0 uops in
     {
-      Dispatch_model.lim_width =
-        total (fun ev -> ev.ev_limits.lim_width *. ev.ev_uops) /. w;
-      lim_dependences =
-        total (fun ev -> ev.ev_limits.lim_dependences *. ev.ev_uops) /. w;
-      lim_ports = total (fun ev -> ev.ev_limits.lim_ports *. ev.ev_uops) /. w;
-      lim_units = total (fun ev -> ev.ev_limits.lim_units *. ev.ev_uops) /. w;
+      Dispatch_model.lim_width = !l_width /. w;
+      lim_dependences = !l_deps /. w;
+      lim_ports = !l_ports /. w;
+      lim_units = !l_units /. w;
     }
   in
   let i1, i2, i3 = inst_ratios in

@@ -299,6 +299,16 @@ let windowed_mlp ~rob_size ~total_uops (stream : vload array) =
 let stride_memo : (int * int * int * int * int * int, result) Hashtbl.t =
   Hashtbl.create 4096
 
+(* The shared table is consulted from parallel domains, so guard it like
+   [replay_memo]; each domain additionally keeps a mutex-free front cache
+   (results are deterministic, so duplicated computation across domains is
+   harmless and the shared table keeps it rare). *)
+let stride_memo_mutex = Mutex.create ()
+
+let stride_local :
+    (int * int * int * int * int * int, result) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 256)
+
 let stride_uncached ~(mt : Profile.microtrace) ~(uarch : Uarch.t) ~llc_lines
     ~llc_load_miss_rate ~model_prefetch =
   let loads = Isa.Class_counts.get mt.mt_mix Isa.Load in
@@ -348,11 +358,25 @@ let stride ~(mt : Profile.microtrace) ~(uarch : Uarch.t) ~llc_lines
          + (uarch.core.dispatch_width * 100_000) + uarch.memory.dram_latency
        else 0) )
   in
-  match Hashtbl.find_opt stride_memo key with
+  let local = Domain.DLS.get stride_local in
+  match Hashtbl.find_opt local key with
   | Some r -> r
   | None ->
-    let r = stride_uncached ~mt ~uarch ~llc_lines ~llc_load_miss_rate ~model_prefetch in
-    Hashtbl.replace stride_memo key r;
+    let r =
+      match
+        Mutex.protect stride_memo_mutex (fun () ->
+            Hashtbl.find_opt stride_memo key)
+      with
+      | Some r -> r
+      | None ->
+        let r =
+          stride_uncached ~mt ~uarch ~llc_lines ~llc_load_miss_rate ~model_prefetch
+        in
+        Mutex.protect stride_memo_mutex (fun () ->
+            Hashtbl.replace stride_memo key r);
+        r
+    in
+    Hashtbl.replace local key r;
     r
 
 let mshr_cap ~mlp ~mshr_entries ~dram_latency =

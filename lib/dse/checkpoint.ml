@@ -282,6 +282,235 @@ let close t =
   maybe_sync t;
   Unix.close t.fd
 
+(* ---- Version 3: streaming block records ----
+
+   A streaming sweep over a generated (possibly million-point) space
+   cannot checkpoint per point — the log would be larger than the sweep
+   is fast — and does not keep per-point results at all.  It reduces each
+   fixed-size index block to a small summary the moment the block
+   completes: a fixed-width vector of commutative-enough accumulators
+   (sums and argmins, combined in block order on resume) plus the block's
+   local Pareto front.  One CRC'd line per block rides the existing
+   framing, so the torn-tail and group-commit guarantees carry over
+   unchanged, and a killed sweep resumes at the first un-checkpointed
+   block with bit-identical final output.
+
+   Header payload: header 3 <n_points> <stats_width> <block_size>
+                            <offset> <length> <workload>
+   Block payload:  blk <block#> <stats_width floats> <front#>
+                       {<id> <delay> <power>}*
+   (floats as raw IEEE-754 bit patterns, like v2 records). *)
+
+type stream_meta = {
+  sm_n_points : int;  (* size of the whole config space *)
+  sm_stats_width : int;
+  sm_block_size : int;
+  sm_offset : int;  (* first point index of the swept sub-range *)
+  sm_length : int;  (* points in the swept sub-range *)
+  sm_workload : string;
+}
+
+type stream_block = {
+  b_index : int;  (* block number within the sub-range, from 0 *)
+  b_stats : float array;  (* length = sm_stats_width *)
+  b_front : (int * float * float) list;  (* point id, delay, power *)
+}
+
+let stream_version = 3
+
+let stream_header_payload m =
+  Printf.sprintf "header %d %d %d %d %d %d %s" stream_version m.sm_n_points
+    m.sm_stats_width m.sm_block_size m.sm_offset m.sm_length m.sm_workload
+
+let parse_stream_header payload =
+  match String.split_on_char ' ' payload with
+  | "header" :: "3" :: n :: width :: block :: offset :: length :: workload ->
+    Option.bind (int_of_string_opt n) (fun sm_n_points ->
+        Option.bind (int_of_string_opt width) (fun sm_stats_width ->
+            Option.bind (int_of_string_opt block) (fun sm_block_size ->
+                Option.bind (int_of_string_opt offset) (fun sm_offset ->
+                    Option.bind (int_of_string_opt length) (fun sm_length ->
+                        if sm_stats_width <= 0 || sm_block_size <= 0 then None
+                        else
+                          Some
+                            {
+                              sm_n_points;
+                              sm_stats_width;
+                              sm_block_size;
+                              sm_offset;
+                              sm_length;
+                              sm_workload = String.concat " " workload;
+                            })))))
+  | _ -> None
+
+let add_block_payload buf (b : stream_block) =
+  Buffer.add_string buf "blk ";
+  Buffer.add_string buf (string_of_int b.b_index);
+  Array.iter
+    (fun f ->
+      Buffer.add_char buf ' ';
+      add_float_bits buf f)
+    b.b_stats;
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf (string_of_int (List.length b.b_front));
+  List.iter
+    (fun (id, delay, power) ->
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (string_of_int id);
+      Buffer.add_char buf ' ';
+      add_float_bits buf delay;
+      Buffer.add_char buf ' ';
+      add_float_bits buf power)
+    b.b_front
+
+let parse_block ~stats_width payload =
+  match String.split_on_char ' ' payload with
+  | "blk" :: index :: rest when List.length rest >= stats_width + 1 ->
+    Option.bind (int_of_string_opt index) (fun b_index ->
+        let stats_l, rest = List.filteri (fun i _ -> i < stats_width) rest,
+                            List.filteri (fun i _ -> i >= stats_width) rest in
+        let stats = List.filter_map float_of_bits_hex stats_l in
+        if List.length stats <> stats_width then None
+        else
+          match rest with
+          | count :: triples -> (
+            match int_of_string_opt count with
+            | Some k when List.length triples = 3 * k ->
+              let rec take acc = function
+                | [] -> Some (List.rev acc)
+                | id :: d :: p :: tl ->
+                  Option.bind (int_of_string_opt id) (fun id ->
+                      Option.bind (float_of_bits_hex d) (fun d ->
+                          Option.bind (float_of_bits_hex p) (fun p ->
+                              take ((id, d, p) :: acc) tl)))
+                | _ -> None
+              in
+              Option.map
+                (fun front ->
+                  { b_index; b_stats = Array.of_list stats; b_front = front })
+                (take [] triples)
+            | _ -> None)
+          | [] -> None)
+  | _ -> None
+
+(* Decode a stream log: meta, valid blocks (stopping at the first corrupt
+   line), and the byte length of the trusted prefix. *)
+let decode_stream ~path lines =
+  match lines with
+  | [] -> Error (Fault.bad_input ~context:("checkpoint " ^ path) "empty file")
+  | header_line :: rest -> (
+    match Option.bind (unframe header_line) parse_stream_header with
+    | None ->
+      Error
+        (Fault.bad_input ~context:("checkpoint " ^ path) ~line:1
+           "not a v3 streaming checkpoint (bad or corrupt header line)")
+    | Some meta ->
+      let n_blocks =
+        if meta.sm_block_size <= 0 then 0
+        else (meta.sm_length + meta.sm_block_size - 1) / meta.sm_block_size
+      in
+      let blocks = ref [] in
+      let valid_bytes = ref (String.length header_line + 1) in
+      (try
+         List.iter
+           (fun l ->
+             match
+               Option.bind (unframe l) (parse_block ~stats_width:meta.sm_stats_width)
+             with
+             | Some b when b.b_index >= 0 && b.b_index < n_blocks ->
+               blocks := b :: !blocks;
+               valid_bytes := !valid_bytes + String.length l + 1
+             | _ -> raise Exit)
+           rest
+       with Exit -> ());
+      Ok (meta, List.rev !blocks, !valid_bytes))
+
+let load_stream path =
+  match read_lines path with
+  | exception Sys_error msg ->
+    Error (Fault.bad_input ~context:("checkpoint " ^ path) msg)
+  | lines ->
+    Result.map (fun (meta, blocks, _) -> (meta, blocks)) (decode_stream ~path lines)
+
+(* Open a stream log for appending, returning the blocks already present.
+   A fresh (or empty) file gets the v3 header; an existing one must carry
+   an identical meta record — resuming must not mix sweeps of different
+   spaces, sub-ranges, block sizes or payload shapes. *)
+let open_stream path ~(meta : stream_meta) =
+  if meta.sm_stats_width <= 0 || meta.sm_block_size <= 0 then
+    Error
+      (Fault.bad_input ~context:("checkpoint " ^ path)
+         "stream meta: stats width and block size must be positive")
+  else
+    match
+      Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644
+    with
+    | exception Unix.Unix_error (err, _, _) ->
+      Error
+        (Fault.bad_input ~context:("checkpoint " ^ path) (Unix.error_message err))
+    | fd ->
+      if (Unix.fstat fd).st_size = 0 then begin
+        write_all fd (framed (stream_header_payload meta));
+        Ok ({ fd; path; width = meta.sm_stats_width;
+              last_sync = Unix.gettimeofday () }, [])
+      end
+      else begin
+        match
+          Result.bind
+            (try Ok (read_lines path)
+             with Sys_error msg ->
+               Error (Fault.bad_input ~context:("checkpoint " ^ path) msg))
+            (decode_stream ~path)
+        with
+        | Error ft ->
+          Unix.close fd;
+          Error ft
+        | Ok (file_meta, _, _) when file_meta <> meta ->
+          Unix.close fd;
+          Error
+            (Fault.bad_input ~context:("checkpoint " ^ path)
+               (Printf.sprintf
+                  "stream header mismatch: file is %d points of %S \
+                   (block %d, offset %d, length %d, width %d); sweep wants \
+                   %d points of %S (block %d, offset %d, length %d, width %d)"
+                  file_meta.sm_n_points file_meta.sm_workload
+                  file_meta.sm_block_size file_meta.sm_offset
+                  file_meta.sm_length file_meta.sm_stats_width meta.sm_n_points
+                  meta.sm_workload meta.sm_block_size meta.sm_offset
+                  meta.sm_length meta.sm_stats_width))
+        | Ok (_, blocks, valid_bytes) ->
+          if (Unix.fstat fd).st_size > valid_bytes then
+            Unix.ftruncate fd valid_bytes;
+          Ok ({ fd; path; width = meta.sm_stats_width;
+                last_sync = Unix.gettimeofday () }, blocks)
+      end
+
+let append_blocks t blocks =
+  List.iter
+    (fun b ->
+      if Array.length b.b_stats <> t.width then
+        Fault.raise_error
+          (Fault.bad_input ~context:("checkpoint " ^ t.path)
+             (Printf.sprintf "block stats width %d does not match file width %d"
+                (Array.length b.b_stats) t.width)))
+    blocks;
+  let scratch = Buffer.create 512 in
+  let buf = Buffer.create (512 * List.length blocks) in
+  List.iter
+    (fun b ->
+      Buffer.clear scratch;
+      add_block_payload scratch b;
+      let payload = Buffer.contents scratch in
+      Buffer.add_string buf (Crc32.to_hex (Crc32.string payload));
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf payload;
+      Buffer.add_char buf '\n')
+    blocks;
+  if Buffer.length buf > 0 then begin
+    write_all t.fd (Buffer.contents buf);
+    maybe_sync t
+  end
+
 (* The design-sweep view: a fixed 6-float payload with named fields.
    Kept as the primary interface for [Sweep]; it is a thin encode/decode
    shim over the vector records. *)

@@ -52,6 +52,46 @@ val load_vec : string -> (int * int * string * vec_entry list, Fault.t) result
 
 val close : t -> unit
 
+(** {1 Streaming block records (version 3)}
+
+    A streaming sweep over a generated space checkpoints per completed
+    index {e block}, not per point: each record carries the block's
+    fixed-width accumulator vector and its local Pareto front, so the log
+    stays a few hundred bytes per block no matter how large the space is.
+    The same CRC framing, group commit and torn-tail truncation apply, so
+    kill-and-resume stays bit-identical at any scale. *)
+
+type stream_meta = {
+  sm_n_points : int;  (** size of the whole config space *)
+  sm_stats_width : int;  (** floats per block stats vector *)
+  sm_block_size : int;  (** points per block *)
+  sm_offset : int;  (** first point index of the swept sub-range *)
+  sm_length : int;  (** number of points in the swept sub-range *)
+  sm_workload : string;
+}
+
+type stream_block = {
+  b_index : int;  (** block number within the sub-range, from 0 *)
+  b_stats : float array;
+  b_front : (int * float * float) list;  (** point id, delay, power *)
+}
+
+val open_stream :
+  string -> meta:stream_meta -> (t * stream_block list, Fault.t) result
+(** Create a v3 log (writing the header), or open an existing one —
+    validating that its header meta is identical, truncating any torn
+    tail — and return the blocks it already holds, so the sweep resumes
+    at the first missing block. *)
+
+val append_blocks : t -> stream_block list -> unit
+(** Append block records in one write (group commit, like
+    [append_vec]).  Raises [Fault.Error] on a stats vector whose length
+    differs from the file's declared width. *)
+
+val load_stream :
+  string -> (stream_meta * stream_block list, Fault.t) result
+(** Read-only decode of a v3 log; stops at the first CRC-invalid line. *)
+
 (** {1 The design-sweep view}
 
     A named 6-float payload — the primary interface for [Sweep] — layered

@@ -5,13 +5,18 @@ let dominates a b =
   && (a.pt_delay < b.pt_delay || a.pt_power < b.pt_power)
 
 let frontier points =
-  (* Sweep by increasing delay (ties: increasing power); a point is on the
-     frontier iff its power undercuts everything seen before. *)
+  (* Sweep by increasing delay (ties: increasing power, then id); a point
+     is on the frontier iff its power undercuts everything seen before.
+     The id tie-break makes the result a pure function of the point SET:
+     among coordinate-equal points the lowest id survives, so a streamed
+     sweep merging per-block fronts picks the same representatives as a
+     materialized sweep over all points at once. *)
   let sorted =
     List.sort
       (fun a b ->
         if a.pt_delay <> b.pt_delay then compare a.pt_delay b.pt_delay
-        else compare a.pt_power b.pt_power)
+        else if a.pt_power <> b.pt_power then compare a.pt_power b.pt_power
+        else compare a.pt_id b.pt_id)
       points
   in
   let rec sweep best_power acc = function
@@ -48,11 +53,12 @@ type quality = {
 
 let ids points = List.map (fun p -> p.pt_id) points |> List.sort_uniq compare
 
-let quality ~truth ~predicted =
-  if List.length truth <> List.length predicted then
-    invalid_arg "Pareto.quality: point sets differ in size";
-  let truth_front = ids (frontier truth) in
-  let pred_front = ids (frontier predicted) in
+(* Shared confusion-matrix + HVR computation: [truth] carries the true
+   coordinates of every point; [pred_front] is the id set some method
+   proposes as the front.  Used by both [quality] (full predicted point
+   set, front at predicted coordinates) and [subset_quality] (a partial
+   evaluation picking a subset of ids, front at true coordinates). *)
+let score ~truth ~truth_front ~pred_front =
   let all = ids truth in
   let mem x set = List.mem x set in
   let tp = List.length (List.filter (fun i -> mem i pred_front) truth_front) in
@@ -86,3 +92,17 @@ let quality ~truth ~predicted =
        else float_of_int (tp + tn) /. float_of_int (List.length all));
     hvr = (if hv_true <= 0.0 then 1.0 else Float.min 1.0 (hv_picks /. hv_true));
   }
+
+let quality ~truth ~predicted =
+  if List.length truth <> List.length predicted then
+    invalid_arg "Pareto.quality: point sets differ in size";
+  score ~truth ~truth_front:(ids (frontier truth))
+    ~pred_front:(ids (frontier predicted))
+
+let subset_quality ~truth ~picked_ids =
+  let picked = List.sort_uniq compare picked_ids in
+  let picked_pts =
+    List.filter (fun p -> List.mem p.pt_id picked) truth
+  in
+  score ~truth ~truth_front:(ids (frontier truth))
+    ~pred_front:(ids (frontier picked_pts))

@@ -19,7 +19,10 @@ val dominates : point -> point -> bool
     better in at least one. *)
 
 val frontier : point list -> point list
-(** Non-dominated points, sorted by increasing delay.  O(n log n). *)
+(** Non-dominated points, sorted by increasing delay.  O(n log n).
+    Coordinate-equal points keep only the lowest id, making the result
+    a pure function of the point {e set} — a streamed sweep merging
+    per-block fronts agrees exactly with a whole-list computation. *)
 
 type quality = {
   sensitivity : float;  (** TP / (TP + FN) over frontier membership *)
@@ -33,6 +36,14 @@ val quality : truth:point list -> predicted:point list -> quality
     ids); predicted frontier membership is computed on predicted
     coordinates, then judged against true frontier membership, and HVR is
     computed with true coordinates of the predicted picks. *)
+
+val subset_quality : truth:point list -> picked_ids:int list -> quality
+(** Judge a {e partial} evaluation — a method (e.g. hierarchical
+    refinement) that evaluated only the points in [picked_ids] — against
+    the exhaustive [truth].  The predicted front is the frontier of the
+    picked points at their true coordinates; ids absent from [truth] are
+    ignored.  Sensitivity is the fraction of the true front the picks
+    recovered; HVR the fraction of its dominated volume. *)
 
 val hypervolume : reference:float * float -> point list -> float
 (** Area dominated by the frontier of the given points w.r.t. a

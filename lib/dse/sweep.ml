@@ -262,6 +262,334 @@ let sim_sweep_result ?jobs ?checkpoint ?resume ?checkpoint_every ?keep_going
       of_sim config ~index (Simulator.run config spec ~seed ~n_instructions))
     configs
 
+(* ---- Streaming engine ---- *)
+
+(* The per-point driver above keeps one result per point in memory and
+   checkpoints one record per point — fine at 10^3 points, fatal at
+   10^6.  The streaming engine instead walks the index range in fixed
+   [block_size] blocks; each block folds its points into a fixed-width
+   accumulator vector plus a local Pareto front and is then dropped, so
+   peak RSS and checkpoint size depend on the block count, never the
+   point count.
+
+   Determinism: points within a block are evaluated sequentially in
+   index order; blocks within a group run in parallel but are recorded
+   (and merged) in ascending block order; all min/argmin updates use
+   strict [<], so the lowest index wins every tie.  The merged summary
+   is therefore a pure function of (range, block_size) — independent of
+   [jobs] and of where a kill-and-resume split the run (floats
+   round-trip the checkpoint as IEEE-754 bit patterns). *)
+
+let stream_stats_width = 14
+
+(* Stats-vector slots. *)
+let s_ok = 0
+
+let s_failed = 1
+let s_sum_cpi = 2
+let s_sum_cycles = 3
+let s_sum_watts = 4
+let s_sum_seconds = 5
+let s_sum_energy = 6
+let s_sum_ed2p = 7
+let s_min_seconds = 8
+let s_arg_seconds = 9
+let s_min_energy = 10
+let s_arg_energy = 11
+let s_min_ed2p = 12
+let s_arg_ed2p = 13
+
+let init_stats () =
+  let stats = Array.make stream_stats_width 0.0 in
+  stats.(s_min_seconds) <- infinity;
+  stats.(s_min_energy) <- infinity;
+  stats.(s_min_ed2p) <- infinity;
+  stats.(s_arg_seconds) <- -1.0;
+  stats.(s_arg_energy) <- -1.0;
+  stats.(s_arg_ed2p) <- -1.0;
+  stats
+
+type stream_summary = {
+  ss_n_points : int;
+  ss_offset : int;
+  ss_length : int;
+  ss_block_size : int;
+  ss_n_blocks : int;
+  ss_resumed_blocks : int;
+  ss_evaluated_blocks : int;
+  ss_skipped_blocks : int;
+  ss_ok : int;
+  ss_failed : int;
+  ss_sum_cpi : float;
+  ss_sum_cycles : float;
+  ss_sum_watts : float;
+  ss_sum_seconds : float;
+  ss_sum_energy_j : float;
+  ss_sum_ed2p : float;
+  ss_best_seconds : (int * float) option;
+  ss_best_energy : (int * float) option;
+  ss_best_ed2p : (int * float) option;
+  ss_front : Pareto.point list;
+  ss_front_evals : eval list;
+  ss_sample_fault : Fault.t option;
+}
+
+(* Evaluate points [start, stop) sequentially in index order, folding
+   them into a stats vector and a local Pareto front.  Reuses
+   [Parallel.map_result ~jobs:1] purely for its exception-capture
+   semantics, so a crashing point faults exactly as in [run_generic]. *)
+let eval_block ~eval_point ~on_point ~start ~stop =
+  let stats = init_stats () in
+  let first_fault = ref None in
+  let pts = ref [] in
+  let idxs = List.init (stop - start) (fun k -> start + k) in
+  let results = Parallel.map_result ~jobs:1 eval_point idxs in
+  List.iter2
+    (fun i r ->
+      let r = Result.bind r check_numeric in
+      (match on_point with Some f -> f i r | None -> ());
+      match r with
+      | Error ft ->
+        stats.(s_failed) <- stats.(s_failed) +. 1.0;
+        if Option.is_none !first_fault then first_fault := Some ft
+      | Ok e ->
+        stats.(s_ok) <- stats.(s_ok) +. 1.0;
+        stats.(s_sum_cpi) <- stats.(s_sum_cpi) +. e.sw_cpi;
+        stats.(s_sum_cycles) <- stats.(s_sum_cycles) +. e.sw_cycles;
+        stats.(s_sum_watts) <- stats.(s_sum_watts) +. e.sw_watts;
+        stats.(s_sum_seconds) <- stats.(s_sum_seconds) +. e.sw_seconds;
+        stats.(s_sum_energy) <- stats.(s_sum_energy) +. e.sw_energy_j;
+        stats.(s_sum_ed2p) <- stats.(s_sum_ed2p) +. e.sw_ed2p;
+        if e.sw_seconds < stats.(s_min_seconds) then begin
+          stats.(s_min_seconds) <- e.sw_seconds;
+          stats.(s_arg_seconds) <- float_of_int i
+        end;
+        if e.sw_energy_j < stats.(s_min_energy) then begin
+          stats.(s_min_energy) <- e.sw_energy_j;
+          stats.(s_arg_energy) <- float_of_int i
+        end;
+        if e.sw_ed2p < stats.(s_min_ed2p) then begin
+          stats.(s_min_ed2p) <- e.sw_ed2p;
+          stats.(s_arg_ed2p) <- float_of_int i
+        end;
+        pts :=
+          { Pareto.pt_id = i; pt_delay = e.sw_seconds; pt_power = e.sw_watts }
+          :: !pts)
+    idxs results;
+  let front =
+    Pareto.frontier (List.rev !pts)
+    |> List.map (fun (p : Pareto.point) -> (p.pt_id, p.pt_delay, p.pt_power))
+  in
+  (stats, front, !first_fault)
+
+let default_block_size = 4096
+
+let run_stream ?(jobs = 1) ?checkpoint ?(block_size = default_block_size)
+    ?(keep_going = true) ?on_point ~workload ~n_points ?(offset = 0) ?length
+    ~eval_point () =
+  let length = match length with Some l -> l | None -> n_points - offset in
+  if offset < 0 || length < 0 || offset > n_points - length then
+    Error
+      (Fault.bad_input ~context:"stream sweep"
+         (Printf.sprintf "sub-range [%d, %d) outside the %d-point space"
+            offset (offset + length) n_points))
+  else if block_size < 1 then
+    Error
+      (Fault.bad_input ~context:"stream sweep"
+         (Printf.sprintf "block size %d, must be >= 1" block_size))
+  else begin
+    let n_blocks =
+      if length = 0 then 0 else ((length - 1) / block_size) + 1
+    in
+    let blocks : Checkpoint.stream_block option array = Array.make (max 1 n_blocks) None in
+    let meta =
+      {
+        Checkpoint.sm_n_points = n_points;
+        sm_stats_width = stream_stats_width;
+        sm_block_size = block_size;
+        sm_offset = offset;
+        sm_length = length;
+        sm_workload = workload;
+      }
+    in
+    let ckpt =
+      match checkpoint with
+      | None -> Ok None
+      | Some path -> Result.map Option.some (Checkpoint.open_stream path ~meta)
+    in
+    match ckpt with
+    | Error ft -> Error ft
+    | Ok ckpt ->
+      let resumed = ref 0 in
+      Option.iter
+        (fun (_, existing) ->
+          List.iter
+            (fun (b : Checkpoint.stream_block) ->
+              if b.b_index >= 0 && b.b_index < n_blocks
+                 && blocks.(b.b_index) = None
+              then begin
+                blocks.(b.b_index) <- Some b;
+                incr resumed
+              end)
+            existing)
+        ckpt;
+      let ckpt_t = Option.map fst ckpt in
+      Fun.protect
+        ~finally:(fun () -> Option.iter Checkpoint.close ckpt_t)
+        (fun () ->
+          let pending =
+            List.filter (fun b -> blocks.(b) = None) (List.init n_blocks Fun.id)
+          in
+          (* One block per worker domain and one checkpoint append per
+             group: the loss window of a kill is at most [jobs] blocks. *)
+          let group_size = max 1 jobs in
+          let rec groups = function
+            | [] -> []
+            | l ->
+              let rec take k = function
+                | x :: rest when k > 0 ->
+                  let hd, tl = take (k - 1) rest in
+                  (x :: hd, tl)
+                | rest -> ([], rest)
+              in
+              let hd, tl = take group_size l in
+              hd :: groups tl
+          in
+          let stopped = ref false in
+          let skipped = ref 0 in
+          let evaluated = ref 0 in
+          let sample_fault = ref None in
+          List.iter
+            (fun group ->
+              if !stopped then skipped := !skipped + List.length group
+              else begin
+                let arr = Array.of_list group in
+                let out =
+                  Parallel.map_array ~jobs
+                    (fun b ->
+                      let start = offset + (b * block_size) in
+                      let stop = offset + min length ((b + 1) * block_size) in
+                      eval_block ~eval_point ~on_point ~start ~stop)
+                    arr
+                in
+                let recs =
+                  Array.to_list
+                    (Array.mapi
+                       (fun k (stats, front, ft) ->
+                         let b = arr.(k) in
+                         let blk =
+                           { Checkpoint.b_index = b; b_stats = stats;
+                             b_front = front }
+                         in
+                         blocks.(b) <- Some blk;
+                         incr evaluated;
+                         (match ft with
+                         | Some f when Option.is_none !sample_fault ->
+                           sample_fault := Some f
+                         | _ -> ());
+                         blk)
+                       out)
+                in
+                Option.iter
+                  (fun c -> Checkpoint.append_blocks c recs)
+                  ckpt_t;
+                if (not keep_going)
+                   && Array.exists
+                        (fun (stats, _, _) -> stats.(s_failed) > 0.0)
+                        out
+                then stopped := true
+              end)
+            (groups pending);
+          (* Merge in ascending block order: blocks cover consecutive
+             ascending index ranges, so strict [<] keeps the lowest
+             index across blocks exactly as it did within them. *)
+          let sums = init_stats () in
+          Array.iter
+            (function
+              | None -> ()
+              | Some (b : Checkpoint.stream_block) ->
+                let st = b.b_stats in
+                for k = s_ok to s_sum_ed2p do
+                  sums.(k) <- sums.(k) +. st.(k)
+                done;
+                let merge_min m a =
+                  if st.(m) < sums.(m) then begin
+                    sums.(m) <- st.(m);
+                    sums.(a) <- st.(a)
+                  end
+                in
+                merge_min s_min_seconds s_arg_seconds;
+                merge_min s_min_energy s_arg_energy;
+                merge_min s_min_ed2p s_arg_ed2p)
+            blocks;
+          let front =
+            Array.to_list blocks
+            |> List.concat_map (function
+                 | None -> []
+                 | Some (b : Checkpoint.stream_block) ->
+                   List.map
+                     (fun (id, d, p) ->
+                       { Pareto.pt_id = id; pt_delay = d; pt_power = p })
+                     b.b_front)
+            |> Pareto.frontier
+          in
+          (* The front is a handful of points: re-derive their full
+             evals (deterministic [eval_point]) rather than carrying
+             every eval through the stream. *)
+          let front_evals =
+            Parallel.map_result ~jobs:1 eval_point
+              (List.map (fun (p : Pareto.point) -> p.pt_id) front)
+            |> List.filter_map Result.to_option
+          in
+          let best m a =
+            if sums.(a) < 0.0 then None
+            else Some (int_of_float sums.(a), sums.(m))
+          in
+          Ok
+            {
+              ss_n_points = n_points;
+              ss_offset = offset;
+              ss_length = length;
+              ss_block_size = block_size;
+              ss_n_blocks = n_blocks;
+              ss_resumed_blocks = !resumed;
+              ss_evaluated_blocks = !evaluated;
+              ss_skipped_blocks = !skipped;
+              ss_ok = int_of_float sums.(s_ok);
+              ss_failed = int_of_float sums.(s_failed);
+              ss_sum_cpi = sums.(s_sum_cpi);
+              ss_sum_cycles = sums.(s_sum_cycles);
+              ss_sum_watts = sums.(s_sum_watts);
+              ss_sum_seconds = sums.(s_sum_seconds);
+              ss_sum_energy_j = sums.(s_sum_energy);
+              ss_sum_ed2p = sums.(s_sum_ed2p);
+              ss_best_seconds = best s_min_seconds s_arg_seconds;
+              ss_best_energy = best s_min_energy s_arg_energy;
+              ss_best_ed2p = best s_min_ed2p s_arg_ed2p;
+              ss_front = front;
+              ss_front_evals = front_evals;
+              ss_sample_fault = !sample_fault;
+            })
+  end
+
+let model_sweep_stream ?(options = Interval_model.default_options) ?jobs
+    ?checkpoint ?block_size ?keep_going ?on_point ?offset ?length ~profile
+    space =
+  match Profile.validate profile with
+  | Error ft -> Error ft
+  | Ok () ->
+    (match options.combine with
+    | `Separate -> Profile.prepare profile
+    | `Combined -> ());
+    run_stream ?jobs ?checkpoint ?block_size ?keep_going ?on_point
+      ~workload:profile.Profile.p_workload
+      ~n_points:(Config_space.size space) ?offset ?length
+      ~eval_point:(fun i ->
+        let config = Config_space.config_of_index space i in
+        of_prediction config ~index:i
+          (Interval_model.predict ~options config profile))
+      ()
+
 (* ---- Legacy raising interface ---- *)
 
 (* Kept for callers that want a plain eval list and exception-on-failure

@@ -35,6 +35,11 @@ type outcome = {
   o_resumed : int;  (** points restored from the resume checkpoint *)
 }
 
+val check_numeric : eval -> (eval, Fault.t) result
+(** Reject an eval containing non-finite numbers as a per-point
+    [Fault.numeric] — NaN silently corrupts Pareto fronts and argmin
+    comparisons downstream. *)
+
 val default_checkpoint_every : int
 (** Points per checkpoint batch (64): small enough that a killed process
     loses little work (each batch is written before the next starts),
@@ -123,6 +128,104 @@ val sim_sweep_result :
   (outcome, Fault.t) result
 (** Detailed-simulation counterpart; each design point simulates the
     workload from the same seed, so results are independent of [jobs]. *)
+
+(** {1 Streaming sweeps}
+
+    The per-point engine above holds one result per point — fine at a
+    few hundred points, fatal at a million.  The streaming engine walks
+    a (sub-)range of a generated {!Config_space.t} in fixed-size index
+    blocks, folds each block into a fixed-width accumulator vector plus
+    a local Pareto front, and drops it, so peak RSS and checkpoint size
+    scale with the block count, never the point count.
+
+    Points within a block evaluate sequentially in index order; blocks
+    run [jobs]-wide but are recorded and merged in ascending block
+    order, and every min/argmin tie resolves to the lowest index — the
+    summary is a pure function of (range, block size), independent of
+    [jobs] and bit-identical across a kill-and-resume. *)
+
+val stream_stats_width : int
+(** Floats per block accumulator vector (14). *)
+
+val default_block_size : int
+(** Points per streaming block (4096). *)
+
+type stream_summary = {
+  ss_n_points : int;  (** size of the whole space *)
+  ss_offset : int;  (** first index of the swept sub-range *)
+  ss_length : int;  (** points in the swept sub-range *)
+  ss_block_size : int;
+  ss_n_blocks : int;
+  ss_resumed_blocks : int;  (** blocks restored from the checkpoint *)
+  ss_evaluated_blocks : int;  (** blocks evaluated by this run *)
+  ss_skipped_blocks : int;  (** blocks skipped after a [keep_going:false] stop *)
+  ss_ok : int;
+  ss_failed : int;
+  ss_sum_cpi : float;  (** sums are over [ss_ok] successful points *)
+  ss_sum_cycles : float;
+  ss_sum_watts : float;
+  ss_sum_seconds : float;
+  ss_sum_energy_j : float;
+  ss_sum_ed2p : float;
+  ss_best_seconds : (int * float) option;  (** (point id, value); ties → lowest id *)
+  ss_best_energy : (int * float) option;
+  ss_best_ed2p : (int * float) option;
+  ss_front : Pareto.point list;  (** global Pareto front of the swept range *)
+  ss_front_evals : eval list;
+      (** full evals of [ss_front], re-derived by re-evaluating the (few)
+          front ids; a front point whose re-evaluation faults is omitted *)
+  ss_sample_fault : Fault.t option;
+      (** first fault seen by this run (resumed blocks only carry counts) *)
+}
+
+val run_stream :
+  ?jobs:int ->
+  ?checkpoint:string ->
+  ?block_size:int ->
+  ?keep_going:bool ->
+  ?on_point:(int -> point_result -> unit) ->
+  workload:string ->
+  n_points:int ->
+  ?offset:int ->
+  ?length:int ->
+  eval_point:(int -> eval) ->
+  unit ->
+  (stream_summary, Fault.t) result
+(** [run_stream ~workload ~n_points ~eval_point ()] streams over points
+    [offset, offset + length) (default: the whole space) in
+    [block_size]-point blocks.  [eval_point] must be deterministic; a
+    raised exception or a non-finite eval faults that point alone.
+
+    [?checkpoint] doubles as resume: the log is created if missing,
+    validated (byte-identical meta) and its completed blocks restored if
+    present, and each evaluated group of [jobs] blocks appended — a
+    killed run loses at most the in-flight group.
+
+    [?on_point] observes every freshly evaluated point (called from the
+    worker domains, in index order within each block; resumed blocks do
+    not replay).  [keep_going:false] lets the group containing the first
+    fault finish, then skips (and does not checkpoint) later blocks.
+
+    The outer [Error] is reserved for whole-sweep failures: a bad
+    sub-range or block size, or an unreadable/mismatched checkpoint. *)
+
+val model_sweep_stream :
+  ?options:Interval_model.options ->
+  ?jobs:int ->
+  ?checkpoint:string ->
+  ?block_size:int ->
+  ?keep_going:bool ->
+  ?on_point:(int -> point_result -> unit) ->
+  ?offset:int ->
+  ?length:int ->
+  profile:Profile.t ->
+  Config_space.t ->
+  (stream_summary, Fault.t) result
+(** {!run_stream} over a generated config space with the analytical
+    model: configs are built per index ({!Config_space.config_of_index})
+    and dropped after evaluation — no config list is ever allocated.
+    Profile validation and StatStack preparation as in
+    {!model_sweep_result}. *)
 
 val model_sweep :
   ?options:Interval_model.options ->

@@ -288,7 +288,12 @@ let memo_stack ?(cold_fraction = 0.0) h =
         Hashtbl.add stack_memo key ss;
         ss)
 
+(* Bumped on [clear_stack_memo] so per-domain hot caches (below) notice
+   that their resolved references went stale. *)
+let memo_generation = Atomic.make 0
+
 let clear_stack_memo () =
+  Atomic.incr memo_generation;
   Mutex.protect stack_memo_mutex (fun () -> Hashtbl.reset stack_memo)
 
 (* Sampled cold counts rescaled to the true whole-stream rate; the
@@ -314,6 +319,46 @@ let store_stack t mt =
 
 let inst_stack t =
   memo_stack ~cold_fraction:t.p_inst_cold_fraction t.p_reuse_inst
+
+(* ---- Per-domain resolved-stack cache (the sweep inner loop) ----
+
+   [memo_stack] answers in O(1) but takes a mutex per lookup, and a
+   single design-point evaluation performs dozens of lookups.  A
+   streaming sweep evaluates millions of points against ONE profile, so
+   each worker domain resolves every stack reference once into a plain
+   record and reuses it mutex-free.  Keyed by the identity of the
+   profile's instruction-reuse histogram ([Histogram.id] is unique per
+   histogram instance, hence per loaded profile) and invalidated by
+   [clear_stack_memo]'s generation bump.  Entries go through [memo_stack],
+   so [Statstack.construction_count] still counts each structure once. *)
+
+type hot = {
+  hot_generation : int;
+  hot_inst : Statstack.t;
+  hot_load : Statstack.t array;  (* indexed by mt_index *)
+  hot_store : Statstack.t array;
+}
+
+let hot_slot : (int, hot) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 4)
+
+let hot t =
+  let tbl = Domain.DLS.get hot_slot in
+  let key = Histogram.id t.p_reuse_inst in
+  let generation = Atomic.get memo_generation in
+  match Hashtbl.find_opt tbl key with
+  | Some h when h.hot_generation = generation -> h
+  | _ ->
+    let h =
+      {
+        hot_generation = generation;
+        hot_inst = inst_stack t;
+        hot_load = Array.map (load_stack t) t.p_microtraces;
+        hot_store = Array.map (store_stack t) t.p_microtraces;
+      }
+    in
+    Hashtbl.replace tbl key h;
+    h
 
 let prepare t =
   ignore (inst_stack t : Statstack.t);

@@ -147,6 +147,22 @@ val store_stack : t -> microtrace -> Statstack.t
 val inst_stack : t -> Statstack.t
 (** Memoized StatStack over the instruction-stream reuse distances. *)
 
+(** Per-domain resolved view of a profile's memoized stacks.  [memo_stack]
+    takes a mutex per lookup; the sweep inner loop instead resolves every
+    stack reference once per domain into this record and reads it
+    mutex-free.  Arrays are indexed by [mt_index]. *)
+type hot = {
+  hot_generation : int;
+  hot_inst : Statstack.t;
+  hot_load : Statstack.t array;
+  hot_store : Statstack.t array;
+}
+
+val hot : t -> hot
+(** The calling domain's cached resolved view of [t]'s stacks, built
+    through [memo_stack] on first use (so construction counts are
+    unchanged) and invalidated by [clear_stack_memo]. *)
+
 val prepare : t -> unit
 (** Build every config-independent StatStack structure of this profile —
     the per-microtrace load/store stacks, the instruction stack, and the

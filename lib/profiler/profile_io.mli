@@ -20,21 +20,37 @@
       {!Profile.validate} so semantic corruption (negative counters, NaN
       scalars, inconsistent histogram mass) is caught at the I/O boundary.
 
-    Version 1 files (no trailing checksum) are still accepted. *)
+    Version 1 files (no trailing checksum) are still accepted.
+
+    Version 3 is a compact binary format (zigzag LEB128 varint integers,
+    fixed 8-byte little-endian floats, CRC-32 trailer; about a quarter
+    the size of the text form and parsed in one pass).  [load] and [of_string] detect it by magic
+    prefix, so both formats load transparently; [save ~binary:true]
+    writes it. *)
 
 val format_version : int
+(** Version of the text format written by [save] (2). *)
 
-val save : string -> Profile.t -> unit
-(** [save path profile] writes the profile with its trailing checksum;
+val binary_version : int
+(** Version of the binary format written by [save ~binary:true] (3). *)
+
+val save : ?binary:bool -> string -> Profile.t -> unit
+(** [save path profile] writes the profile with its trailing checksum
+    (text format; [~binary:true] selects the version-3 binary format);
     raises [Sys_error] on I/O failure. *)
 
 val load : string -> (Profile.t, Fault.t) result
 (** [Error (Fault.Bad_input _)] on unreadable files, checksum mismatch,
     version mismatch, parse errors (with line context) and profiles
-    failing {!Profile.validate}.  Never raises on bad input. *)
+    failing {!Profile.validate}.  Accepts text and binary files alike.
+    Never raises on bad input. *)
 
 val to_string : Profile.t -> string
-(** The serialized form including the trailing checksum line, for tests
-    and piping. *)
+(** The serialized text form including the trailing checksum line, for
+    tests and piping. *)
+
+val to_binary_string : Profile.t -> string
+(** The serialized binary (version 3) form including the CRC trailer. *)
 
 val of_string : string -> (Profile.t, Fault.t) result
+(** Parse either format, detected by magic prefix. *)

@@ -88,11 +88,37 @@ let miss_ratio t ~cache_lines =
     let max_rd = t.starts.(Array.length t.starts - 1) + 1 in
     if expected_stack_distance t max_rd <= capacity then t.cold
     else begin
-      (* Smallest r with E[sd(r)] > capacity (monotone in r). *)
-      let lo = ref 1 and hi = ref max_rd in
+      (* Smallest r with E[sd(r)] > capacity (monotone in r).  E is linear
+         on each survival segment, so first locate the earliest segment
+         whose largest in-segment value exceeds capacity, then binary
+         search r inside that single segment.  Both probes evaluate the
+         same float expression as [expected_stack_distance] — for i < last
+         the segment-end value is bitwise [prefix.(i + 1)], the
+         constructor's own recurrence — so the resulting r, and hence the
+         returned ratio, is bit-identical to bisecting r over [1, max_rd]
+         with [expected_stack_distance] at every probe, without paying an
+         O(log n) [segment_of] per probe. *)
+      let last = Array.length t.starts - 1 in
+      let seg_max i =
+        if i < last then t.prefix.(i + 1)
+        else
+          t.prefix.(last)
+          +. (float_of_int (max_rd - t.starts.(last)) *. t.values.(last))
+      in
+      let slo = ref 0 and shi = ref last in
+      while !slo < !shi do
+        let mid = (!slo + !shi) / 2 in
+        if seg_max mid > capacity then shi := mid else slo := mid + 1
+      done;
+      let i = !slo in
+      let e_at r =
+        t.prefix.(i) +. (float_of_int (r - t.starts.(i)) *. t.values.(i))
+      in
+      let lo = ref (t.starts.(i) + 1)
+      and hi = ref (if i < last then t.starts.(i + 1) else max_rd) in
       while !lo < !hi do
         let mid = (!lo + !hi) / 2 in
-        if expected_stack_distance t mid > capacity then hi := mid else lo := mid + 1
+        if e_at mid > capacity then hi := mid else lo := mid + 1
       done;
       (* Reuses with rd >= lo miss: fraction = S(lo - 1). *)
       let miss_reuses = survival t (!lo - 1) in

@@ -24,6 +24,13 @@ val of_reuse_histogram : ?cold_fraction:float -> Histogram.t -> t
     that never saw a prior access to their line (default 0); the histogram
     describes the remaining accesses. *)
 
+val survival : t -> int -> float
+(** [survival t j] is S(j) = P(reuse distance > j) over the profiled
+    reuses (1.0 for [j < 0], 0.0 on an empty histogram).  The core
+    StatStack quantity; exposed so tests can state [miss_ratio] as the
+    textbook linear search over [expected_stack_distance] and check the
+    production binary search against it bit-for-bit. *)
+
 val expected_stack_distance : t -> int -> float
 (** [expected_stack_distance t r] for a reuse distance [r >= 0];
     monotonically non-decreasing in [r] and bounded by [r]. *)

@@ -75,7 +75,7 @@ type t = {
 
 (* Nehalem-style issue stage (Fig 3.5).  Width 4 gets the six-port layout;
    narrower/wider cores scale the ALU-capable port set and unit counts. *)
-let functional_units_for_width width =
+let functional_units_for_width_uncached width =
   let alu_ports = match width with
     | w when w <= 2 -> [ 0; 1 ]
     | w when w <= 4 -> [ 0; 1; 5 ]
@@ -105,6 +105,18 @@ let functional_units_for_width width =
     { serves = Isa.Branch; unit_count = 1; unit_latency = 1; pipelined = true;
       usable_ports = [ 5 ] };
   ]
+
+(* Pure in [width]; return a shared physical list per width so that a
+   config-space generator building millions of cores neither reallocates
+   the table nor defeats physical-equality guards in downstream caches.
+   Pre-built for every realistic width, so parallel readers never write. *)
+let functional_units_table =
+  Array.init 17 (fun w -> functional_units_for_width_uncached (max 1 w))
+
+let functional_units_for_width width =
+  if width >= 1 && width < Array.length functional_units_table then
+    functional_units_table.(width)
+  else functional_units_for_width_uncached width
 
 let n_ports_for_width width = if width <= 4 then 6 else 8
 

@@ -81,6 +81,19 @@ type t = {
   operating_point : dvfs;
 }
 
+val make_core : dispatch_width:int -> rob_size:int -> core
+(** A core scaled to the given width and ROB: issue queue at ROB/2
+    (min 16), 5-deep frontend, ports and functional units from the
+    width (shared physical unit lists, so generated configs of equal
+    width compare physically equal on [functional_units]). *)
+
+val make_caches : l1_kb:int -> l2_kb:int -> l3_mb:int -> caches
+(** The reference hierarchy's associativities and latencies with the
+    given capacities (64-byte lines throughout). *)
+
+val functional_units_for_width : int -> functional_unit list
+val n_ports_for_width : int -> int
+
 val reference : t
 (** Nehalem-like reference architecture (Table 6.1): 4-wide dispatch,
     128-entry ROB, 32 KB L1s, 256 KB L2, 8 MB L3, 6 issue ports, 10 MSHRs,

@@ -1,0 +1,41 @@
+(* Golden snapshot of the committed 243-point design space's Pareto
+   front, computed by the streaming engine.
+
+   Pins three things at once: the index -> config bijection of
+   [Config_space.default] (names appear verbatim), the model's ranking
+   of the space (front membership and order), and the streaming
+   accumulator sums.  Any model or engine change that moves the front
+   shows up as a reviewable `dune promote` diff. *)
+
+let seed = 1
+let n_instructions = 30_000
+let pf fmt = Printf.printf fmt
+
+let () =
+  let spec = Benchmarks.find "gcc" in
+  let profile = Profiler.profile spec ~seed ~n_instructions in
+  let space = Config_space.default in
+  let s =
+    Fault.or_raise
+      (Sweep.model_sweep_stream ~block_size:64 ~profile space)
+  in
+  pf "workload: gcc  seed: %d  instructions: %d\n" seed n_instructions;
+  pf "space: %s  points: %d  ok: %d  failed: %d\n\n" (Config_space.name space)
+    s.Sweep.ss_n_points s.ss_ok s.ss_failed;
+  pf "sums: cpi %.6e  watts %.6e  seconds %.6e  energy %.6e\n"
+    s.ss_sum_cpi s.ss_sum_watts s.ss_sum_seconds s.ss_sum_energy_j;
+  (match s.ss_best_seconds with
+  | Some (id, v) -> pf "best seconds: %d  %.6e\n" id v
+  | None -> ());
+  (match s.ss_best_energy with
+  | Some (id, v) -> pf "best energy:  %d  %.6e\n" id v
+  | None -> ());
+  (match s.ss_best_ed2p with
+  | Some (id, v) -> pf "best ed2p:    %d  %.6e\n" id v
+  | None -> ());
+  pf "\npareto front (%d points):\n" (List.length s.ss_front);
+  List.iter
+    (fun (e : Sweep.eval) ->
+      pf "  %3d  %-32s  %.6e s  %.4f W  cpi %.4f\n" e.sw_index
+        e.sw_config.Uarch.name e.sw_seconds e.sw_watts e.sw_cpi)
+    s.ss_front_evals

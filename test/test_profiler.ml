@@ -431,6 +431,83 @@ let test_profile_io_validates_semantics () =
   expect_bad_input "impossible branch fraction"
     (Profile_io.of_string (Profile_io.to_string doctored))
 
+(* ---- Binary (version 3) format ---- *)
+
+let test_binary_roundtrip () =
+  let p = profile_of "milc" 30_000 in
+  let s = Profile_io.to_binary_string p in
+  Alcotest.(check bool) "binary is smaller than text" true
+    (String.length s < String.length (Profile_io.to_string p));
+  let restored = Fault.or_raise (Profile_io.of_string s) in
+  Alcotest.(check bool) "binary round-trip preserves everything" true
+    (profiles_equal p restored)
+
+let test_binary_file_roundtrip () =
+  let p = profile_of "hmmer" 20_000 in
+  let path = Filename.temp_file "mipp" ".profile" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Profile_io.save ~binary:true path p;
+      let restored = Fault.or_raise (Profile_io.load path) in
+      Alcotest.(check bool) "binary file round-trip" true
+        (profiles_equal p restored))
+
+let test_binary_same_predictions () =
+  let p = profile_of "astar" 30_000 in
+  let restored =
+    Fault.or_raise (Profile_io.of_string (Profile_io.to_binary_string p))
+  in
+  let a = Interval_model.predict Uarch.reference p in
+  let b = Interval_model.predict Uarch.reference restored in
+  Alcotest.(check (float 1e-9)) "identical prediction" a.pr_cycles b.pr_cycles
+
+let test_binary_rejects_bit_flip () =
+  (* The CRC trailer covers every payload byte, so any flip must be
+     caught — there is no line structure to hide behind. *)
+  let p = profile_of "bzip2" 20_000 in
+  let s = Bytes.of_string (Profile_io.to_binary_string p) in
+  List.iter
+    (fun i ->
+      let orig = Bytes.get s i in
+      Bytes.set s i (Char.chr (Char.code orig lxor 0x01));
+      expect_bad_input
+        (Printf.sprintf "binary byte flip at %d" i)
+        (Profile_io.of_string (Bytes.to_string s));
+      Bytes.set s i orig)
+    [ 8; Bytes.length s / 2; Bytes.length s - 2 ]
+
+let test_binary_rejects_truncation () =
+  let p = profile_of "povray" 20_000 in
+  let s = Profile_io.to_binary_string p in
+  List.iter
+    (fun n ->
+      expect_bad_input
+        (Printf.sprintf "binary truncated to %d bytes" n)
+        (Profile_io.of_string (String.sub s 0 n)))
+    [ 0; 3; 16; String.length s / 2; String.length s - 1 ]
+
+let prop_binary_corruption_total =
+  let base = lazy (Profile_io.to_binary_string (profile_of "gcc" 20_000)) in
+  QCheck.Test.make ~name:"corrupt binary profiles never escape the result type"
+    ~count:120
+    QCheck.(triple bool (int_bound 100_000) (int_bound 255))
+    (fun (truncate, pos, byte) ->
+      let s = Lazy.force base in
+      let n = String.length s in
+      let corrupted =
+        if truncate then String.sub s 0 (pos mod n)
+        else begin
+          let b = Bytes.of_string s in
+          Bytes.set b (pos mod n) (Char.chr byte);
+          Bytes.to_string b
+        end
+      in
+      match Profile_io.of_string corrupted with
+      | Ok _ | Error _ -> true
+      | exception e ->
+        QCheck.Test.fail_reportf "of_string raised %s" (Printexc.to_string e))
+
 (* Corruption fuzzer: no corruption — truncation anywhere, any byte
    overwritten, whole lines deleted — may crash, hang, or be silently
    accepted as a different profile.  The only acceptable outcomes are a
@@ -585,6 +662,16 @@ let () =
           Alcotest.test_case "validates semantics" `Quick
             test_profile_io_validates_semantics;
           QCheck_alcotest.to_alcotest prop_profile_io_corruption_total;
+          Alcotest.test_case "binary round-trip" `Quick test_binary_roundtrip;
+          Alcotest.test_case "binary file round-trip" `Quick
+            test_binary_file_roundtrip;
+          Alcotest.test_case "binary identical predictions" `Quick
+            test_binary_same_predictions;
+          Alcotest.test_case "binary rejects byte flips" `Quick
+            test_binary_rejects_bit_flip;
+          Alcotest.test_case "binary rejects truncation" `Quick
+            test_binary_rejects_truncation;
+          QCheck_alcotest.to_alcotest prop_binary_corruption_total;
         ] );
       ( "profiling",
         [

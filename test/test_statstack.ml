@@ -184,6 +184,44 @@ let prop_miss_ratio_monotone_in_size =
         [ 1; 2; 4; 8; 16; 32; 64; 128; 256; 512 ];
       !ok)
 
+(* The production [miss_ratio] finds the smallest r with
+   E[sd(r)] > capacity by a two-level binary search.  Restate it as the
+   textbook linear scan over the public API and demand bit-identical
+   results — this is the equivalence proof obligation of the O(log n)
+   rewrite, checked instead of assumed. *)
+let reference_miss_ratio ss ~max_rd ~cache_lines =
+  if cache_lines <= 0 then 1.0
+  else if Statstack.reuse_count ss = 0 then Statstack.cold_fraction ss
+  else begin
+    let capacity = float_of_int cache_lines in
+    if Statstack.expected_stack_distance ss max_rd <= capacity then
+      Statstack.cold_fraction ss
+    else begin
+      let r = ref 1 in
+      while Statstack.expected_stack_distance ss !r <= capacity do incr r done;
+      let cold = Statstack.cold_fraction ss in
+      cold +. ((1.0 -. cold) *. Statstack.survival ss (!r - 1))
+    end
+  end
+
+let prop_miss_ratio_matches_linear_reference =
+  QCheck.Test.make
+    ~name:"binary-search miss ratio bit-identical to linear reference"
+    ~count:300
+    QCheck.(
+      pair
+        (small_list (pair (int_range 0 2000) (int_range 1 50)))
+        (float_range 0.0 0.5))
+    (fun (entries, cold) ->
+      QCheck.assume (entries <> []);
+      let ss = Statstack.of_reuse_histogram ~cold_fraction:cold (hist entries) in
+      let max_rd = 1 + List.fold_left (fun m (k, _) -> max m k) 0 entries in
+      List.for_all
+        (fun size ->
+          Statstack.miss_ratio ss ~cache_lines:size
+          = reference_miss_ratio ss ~max_rd ~cache_lines:size)
+        [ 0; 1; 2; 3; 5; 8; 13; 30; 100; 317; 1000; 2500 ])
+
 let () =
   Alcotest.run "statstack"
     [
@@ -206,5 +244,6 @@ let () =
             test_against_lru_simulation_random;
           QCheck_alcotest.to_alcotest prop_sd_monotone_and_bounded;
           QCheck_alcotest.to_alcotest prop_miss_ratio_monotone_in_size;
+          QCheck_alcotest.to_alcotest prop_miss_ratio_matches_linear_reference;
         ] );
     ]
