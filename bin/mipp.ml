@@ -90,6 +90,25 @@ let obtain_profile ~bench ~n ~seed = function
 
 let find_config name = or_die (Uarch.of_name name)
 
+(* A long checkpointed run killed by SIGTERM/SIGINT should leave a
+   durable log: flush every open checkpoint, then die with the
+   conventional 128+signal status.  Only installed when a checkpoint is
+   actually in play — an uncheckpointed run keeps the default
+   die-immediately behavior. *)
+let install_checkpoint_flush ~checkpoint ~resume =
+  if checkpoint <> None || resume <> None then
+    List.iter
+      (fun signo ->
+        ignore
+          (Sys.signal signo
+             (Sys.Signal_handle
+                (fun signo ->
+                  Checkpoint.sync_all ();
+                  (* Sys.sigterm/sigint are OCaml's internal (negative)
+                     numbers; exit with the conventional 128 + OS number. *)
+                  exit (if signo = Sys.sigint then 130 else 143)))))
+      [ Sys.sigterm; Sys.sigint ]
+
 let print_config u =
   Table.print ~header:[ "parameter"; "value" ]
     ~rows:(List.map (fun (k, v) -> [ k; v ]) (Uarch.describe u))
@@ -543,6 +562,7 @@ let run_stream_sweep ~space ~profile:p ~jobs ~checkpoint ~resume ~keep_going
 let sweep_cmd =
   let run bench n seed jobs profile_file checkpoint resume keep_going
       space_name stream limit offset block_size refine =
+    install_checkpoint_flush ~checkpoint ~resume;
     let p = obtain_profile ~bench ~n ~seed profile_file in
     let space = or_die (Config_space.find space_name) in
     let streaming =
@@ -649,6 +669,7 @@ let validate_cmd =
   in
   let run benches spec_files matrix n seed jobs checkpoint resume keep_going
       gate output =
+    install_checkpoint_flush ~checkpoint ~resume;
     let matrix = or_die (Validate.matrix_of_string matrix) in
     let configs = Validate.matrix_configs matrix in
     let specs =
@@ -713,6 +734,258 @@ let validate_cmd =
           $ vinstructions_arg $ seed_arg $ jobs_arg $ checkpoint_arg
           $ resume_arg $ keep_going_arg $ gate_arg $ json_arg)
 
+(* ---- serve / query ---- *)
+
+let socket_arg =
+  let doc = "Unix-domain socket path of the serving daemon." in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let port_arg =
+  let doc = "TCP port on 127.0.0.1 (instead of, or besides, --socket)." in
+  Arg.(value & opt (some int) None & info [ "port" ] ~docv:"PORT" ~doc)
+
+let serve_cmd =
+  let workers_arg =
+    let doc = "Worker domains evaluating queries." in
+    Arg.(value & opt int Server.default_config.workers
+         & info [ "workers" ] ~docv:"N" ~doc)
+  in
+  let queue_arg =
+    let doc =
+      "Admission-queue capacity; requests beyond it are shed with an \
+       overload fault (explicit backpressure, never an unbounded backlog)."
+    in
+    Arg.(value & opt int Server.default_config.queue_capacity
+         & info [ "queue" ] ~docv:"N" ~doc)
+  in
+  let cache_arg =
+    let doc = "Resident prepared profiles (LRU beyond this)." in
+    Arg.(value & opt int Server.default_config.cache_capacity
+         & info [ "cache" ] ~docv:"N" ~doc)
+  in
+  let conns_arg =
+    let doc = "Concurrent connection cap." in
+    Arg.(value & opt int Server.default_config.max_connections
+         & info [ "max-connections" ] ~docv:"N" ~doc)
+  in
+  let recv_timeout_arg =
+    let doc =
+      "Seconds a client may stall mid-frame before the connection is \
+       dropped (slow-loris guard)."
+    in
+    Arg.(value & opt float Server.default_config.recv_timeout_s
+         & info [ "recv-timeout" ] ~docv:"S" ~doc)
+  in
+  let sweep_cap_arg =
+    let doc = "Largest sweep batch one request may ask for." in
+    Arg.(value & opt int Server.default_config.max_sweep_points
+         & info [ "sweep-cap" ] ~docv:"N" ~doc)
+  in
+  let drain_arg =
+    let doc = "Seconds SIGTERM waits for queued and in-flight requests." in
+    Arg.(value & opt float Server.default_config.drain_timeout_s
+         & info [ "drain-timeout" ] ~docv:"S" ~doc)
+  in
+  let fault_injection_arg =
+    let doc =
+      "Honour the 'crash' op (testing: kills a worker to exercise the \
+       supervisor).  Off by default."
+    in
+    Arg.(value & flag & info [ "fault-injection" ] ~doc)
+  in
+  let run socket port workers queue cache conns recv_timeout sweep_cap drain
+      fault_injection =
+    let cfg =
+      {
+        Server.default_config with
+        socket_path = socket;
+        tcp_port = port;
+        workers;
+        queue_capacity = queue;
+        cache_capacity = cache;
+        max_connections = conns;
+        recv_timeout_s = recv_timeout;
+        max_sweep_points = sweep_cap;
+        drain_timeout_s = drain;
+        fault_injection;
+      }
+    in
+    let server = or_die (Server.create cfg) in
+    (* SIGTERM/SIGINT request a graceful drain: stop accepting, finish
+       queued and in-flight work, answer every open request, exit 0. *)
+    List.iter
+      (fun signo ->
+        ignore
+          (Sys.signal signo (Sys.Signal_handle (fun _ -> Server.stop server))))
+      [ Sys.sigterm; Sys.sigint ];
+    (match socket with
+     | Some path -> Printf.printf "mipp serve: listening on %s\n%!" path
+     | None -> ());
+    (match port with
+     | Some p -> Printf.printf "mipp serve: listening on 127.0.0.1:%d\n%!" p
+     | None -> ());
+    Server.run server;
+    print_endline "mipp serve: drained, bye"
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Model-serving daemon: cached profiles, admission control, \
+          per-request deadlines and fault isolation over a CRC-framed \
+          socket protocol (SIGTERM drains and exits 0)")
+    Term.(const run $ socket_arg $ port_arg $ workers_arg $ queue_arg
+          $ cache_arg $ conns_arg $ recv_timeout_arg $ sweep_cap_arg
+          $ drain_arg $ fault_injection_arg)
+
+(* Exit codes, documented for scripting: 0 success; 1 the daemon
+   answered with a serving fault (overload, timeout, crash, numeric);
+   2 bad input — unusable arguments, connection failure, or a
+   bad-input/protocol fault from the daemon. *)
+let query_exit (fault : Fault.t) =
+  Printf.eprintf "mipp query: %s\n" (Fault.to_string fault);
+  match fault with
+  | Fault.Bad_input _ -> exit exit_bad_input
+  | Numeric _ | Worker_crash _ | Timeout _ | Overload _ ->
+    exit exit_partial_failure
+
+let query_connect socket port =
+  match (socket, port) with
+  | Some path, _ -> or_die (Client.connect_unix path)
+  | None, Some p -> or_die (Client.connect_tcp ~host:"127.0.0.1" ~port:p)
+  | None, None ->
+    or_die
+      (Error
+         (Fault.bad_input ~context:"query"
+            "need --socket PATH or --port PORT to reach the daemon"))
+
+let query_cmd =
+  let op_arg =
+    let doc = "Operation: ping, health, predict, sweep or crash." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"OP" ~doc)
+  in
+  let qprofile_arg =
+    let doc =
+      "Profile file to query against; uploaded (content-addressed, so \
+       re-sent only when the daemon has not seen these bytes) before \
+       predict/sweep."
+    in
+    Arg.(value & opt (some string) None
+         & info [ "p"; "profile-file" ] ~docv:"FILE" ~doc)
+  in
+  let qspace_arg =
+    let doc = "Config space for sweep (see `mipp list`)." in
+    Arg.(value & opt string "default" & info [ "space" ] ~docv:"SPACE" ~doc)
+  in
+  let qoffset_arg =
+    let doc = "First design-point index of the sweep batch." in
+    Arg.(value & opt int 0 & info [ "offset" ] ~docv:"K" ~doc)
+  in
+  let qlimit_arg =
+    let doc = "Design points in the sweep batch." in
+    Arg.(value & opt int 32 & info [ "limit" ] ~docv:"N" ~doc)
+  in
+  let timeout_ms_arg =
+    let doc = "Per-request deadline in milliseconds (daemon-side)." in
+    Arg.(value & opt (some int) None & info [ "timeout-ms" ] ~docv:"MS" ~doc)
+  in
+  let read_file path =
+    or_die
+      (Fault.protect ~context:"query" (fun () ->
+           let ic = open_in_bin path in
+           Fun.protect
+             ~finally:(fun () -> close_in_noerr ic)
+             (fun () -> really_input_string ic (in_channel_length ic))))
+  in
+  let upload client = function
+    | None ->
+      or_die
+        (Error
+           (Fault.bad_input ~context:"query"
+              "this op needs --profile-file FILE"))
+    | Some path ->
+      (match Client.load client (read_file path) with
+       | Ok key -> key
+       | Error f -> query_exit f)
+  in
+  let run socket port op profile_file config prefetch space offset limit
+      timeout_ms =
+    let client = query_connect socket port in
+    Fun.protect ~finally:(fun () -> Client.close client) @@ fun () ->
+    match op with
+    | "ping" ->
+      let t0 = Unix.gettimeofday () in
+      (match Client.ping client with
+       | Ok () ->
+         Printf.printf "pong (%.2f ms)\n"
+           (1000.0 *. (Unix.gettimeofday () -. t0))
+       | Error f -> query_exit f)
+    | "health" ->
+      (match Client.health client with
+       | Ok kv ->
+         Table.print ~header:[ "stat"; "value" ]
+           ~rows:(List.map (fun (k, v) -> [ k; v ]) kv)
+       | Error f -> query_exit f)
+    | "predict" ->
+      let key = upload client profile_file in
+      (match
+         Client.predict client ?timeout_ms ~prefetch ~profile:key
+           ~config ()
+       with
+       | Ok pr ->
+         Table.print ~header:[ "metric"; "value" ]
+           ~rows:
+             ([
+                [ "CPI"; Table.fmt_f pr.Client.pr_cpi ];
+                [ "cycles"; Table.fmt_f ~decimals:0 pr.pr_cycles ];
+                [ "power (W)"; Table.fmt_f ~decimals:1 pr.pr_watts ];
+                [ "time (ms)"; Table.fmt_f ~decimals:2 (1000.0 *. pr.pr_seconds) ];
+                [ "energy (J)"; Table.fmt_f ~decimals:3 pr.pr_energy_j ];
+              ]
+             @ List.map
+                 (fun (name, v) -> [ "CPI: " ^ name; Table.fmt_f v ])
+                 pr.pr_stack)
+       | Error f -> query_exit f)
+    | "sweep" ->
+      let key = upload client profile_file in
+      (match
+         Client.sweep client ?timeout_ms ~profile:key ~space ~offset ~limit ()
+       with
+       | Ok (points, faulted) ->
+         Table.print
+           ~header:[ "index"; "CPI"; "power (W)"; "time (ms)" ]
+           ~rows:
+             (List.map
+                (fun (p : Client.sweep_point) ->
+                  [
+                    string_of_int p.sp_index;
+                    Table.fmt_f p.sp_cpi;
+                    Table.fmt_f ~decimals:1 p.sp_watts;
+                    Table.fmt_f ~decimals:2 (1000.0 *. p.sp_seconds);
+                  ])
+                points);
+         Printf.printf "%d points, %d faulted\n" (List.length points) faulted;
+         if faulted > 0 then exit exit_partial_failure
+       | Error f -> query_exit f)
+    | "crash" ->
+      (match Client.crash client with
+       | Ok () -> print_endline "worker crash acknowledged"
+       | Error f -> query_exit f)
+    | other ->
+      or_die
+        (Error
+           (Fault.bad_input ~context:"query"
+              (Printf.sprintf
+                 "unknown op %S (ping, health, predict, sweep, crash)" other)))
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:
+         "Query a running `mipp serve` daemon (exit 0 success, 1 serving \
+          fault such as overload/timeout, 2 bad input)")
+    Term.(const run $ socket_arg $ port_arg $ op_arg $ qprofile_arg
+          $ config_arg $ prefetch_arg $ qspace_arg $ qoffset_arg $ qlimit_arg
+          $ timeout_ms_arg)
+
 let () =
   let doc = "Micro-architecture independent processor performance & power modeling" in
   let info = Cmd.info "mipp" ~version:"1.0.0" ~doc in
@@ -720,4 +993,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; profile_cmd; predict_cmd; simulate_cmd; compare_cmd;
-            report_cmd; sweep_cmd; multicore_cmd; validate_cmd ]))
+            report_cmd; sweep_cmd; multicore_cmd; validate_cmd; serve_cmd;
+            query_cmd ]))

@@ -133,19 +133,48 @@ let parse_header payload =
    next open. *)
 let sync_interval_s = 1.0
 
+(* Transient syscall failures (EINTR from an operator signal landing
+   mid-append, EAGAIN from a momentarily saturated device) retry on the
+   bounded deterministic schedule instead of killing the sweep — a
+   checkpoint write is exactly the work we must not lose to a signal. *)
 let write_all fd s =
   let bytes = Bytes.of_string s in
-  let n = Unix.write fd bytes 0 (Bytes.length bytes) in
-  if n <> Bytes.length bytes then
-    Fault.raise_error
-      (Fault.bad_input ~context:"checkpoint" "short write to checkpoint file")
+  Retry.write_all fd bytes 0 (Bytes.length bytes)
 
 let maybe_sync t =
   let now = Unix.gettimeofday () in
   if now -. t.last_sync >= sync_interval_s then begin
-    Unix.fsync t.fd;
+    Retry.fsync t.fd;
     t.last_sync <- now
   end
+
+(* ---- Signal-driven flushing ----
+
+   Long sweeps field SIGTERM/SIGINT; the handler must be able to push
+   every open checkpoint to disk before exiting, without knowing which
+   logs the run has open.  Every [open_]-family call registers its handle
+   here; [close] unregisters it.  [sync_all] is best-effort by design: it
+   runs from a signal handler racing normal operation, so a handle closed
+   (EBADF) or mid-append under its feet must not turn a clean shutdown
+   into a crash — the per-line CRCs already make a torn tail harmless. *)
+
+let active : t list ref = ref []
+let active_mutex = Mutex.create ()
+
+let register t =
+  Mutex.protect active_mutex (fun () -> active := t :: !active)
+
+let unregister t =
+  Mutex.protect active_mutex (fun () ->
+      active := List.filter (fun u -> u != t) !active)
+
+let sync t =
+  Retry.fsync t.fd;
+  t.last_sync <- Unix.gettimeofday ()
+
+let sync_all () =
+  let snapshot = Mutex.protect active_mutex (fun () -> !active) in
+  List.iter (fun t -> try sync t with _ -> ()) snapshot
 
 let read_lines path =
   let ic = open_in path in
@@ -218,7 +247,9 @@ let open_vec path ~n_configs ~width ~workload =
          log, not a corrupt one. *)
       if (Unix.fstat fd).st_size = 0 then begin
         write_all fd (framed (header_payload ~n_configs ~width ~workload));
-        Ok { fd; path; width; last_sync = Unix.gettimeofday () }
+        let t = { fd; path; width; last_sync = Unix.gettimeofday () } in
+        register t;
+        Ok t
       end
       else begin
         match Result.bind (try Ok (read_lines path) with Sys_error msg ->
@@ -243,7 +274,9 @@ let open_vec path ~n_configs ~width ~workload =
              partial one. *)
           if (Unix.fstat fd).st_size > valid_bytes then
             Unix.ftruncate fd valid_bytes;
-          Ok { fd; path; width; last_sync = Unix.gettimeofday () }
+          let t = { fd; path; width; last_sync = Unix.gettimeofday () } in
+          register t;
+          Ok t
       end
 
 (* One write per batch, two buffers total: the scratch holds each payload
@@ -279,6 +312,7 @@ let append_vec t entries =
   end
 
 let close t =
+  unregister t;
   maybe_sync t;
   Unix.close t.fd
 
@@ -451,8 +485,10 @@ let open_stream path ~(meta : stream_meta) =
     | fd ->
       if (Unix.fstat fd).st_size = 0 then begin
         write_all fd (framed (stream_header_payload meta));
-        Ok ({ fd; path; width = meta.sm_stats_width;
-              last_sync = Unix.gettimeofday () }, [])
+        let t = { fd; path; width = meta.sm_stats_width;
+                  last_sync = Unix.gettimeofday () } in
+        register t;
+        Ok (t, [])
       end
       else begin
         match
@@ -481,8 +517,10 @@ let open_stream path ~(meta : stream_meta) =
         | Ok (_, blocks, valid_bytes) ->
           if (Unix.fstat fd).st_size > valid_bytes then
             Unix.ftruncate fd valid_bytes;
-          Ok ({ fd; path; width = meta.sm_stats_width;
-                last_sync = Unix.gettimeofday () }, blocks)
+          let t = { fd; path; width = meta.sm_stats_width;
+                    last_sync = Unix.gettimeofday () } in
+          register t;
+          Ok (t, blocks)
       end
 
 let append_blocks t blocks =

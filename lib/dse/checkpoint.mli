@@ -52,6 +52,17 @@ val load_vec : string -> (int * int * string * vec_entry list, Fault.t) result
 
 val close : t -> unit
 
+val sync : t -> unit
+(** Force an fsync now, regardless of the group-commit cadence. *)
+
+val sync_all : unit -> unit
+(** Fsync every checkpoint currently open in this process.  Safe to call
+    from a signal handler racing normal operation: per-handle failures
+    (a log closed concurrently) are swallowed — the per-line CRCs make
+    any torn tail harmless on the next open.  This is what lets a
+    SIGTERM'd [mipp sweep]/[mipp validate] guarantee the log is durable
+    before exiting. *)
+
 (** {1 Streaming block records (version 3)}
 
     A streaming sweep over a generated space checkpoints per completed

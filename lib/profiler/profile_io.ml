@@ -653,13 +653,19 @@ let of_text_string s =
 
 let of_string s = if is_binary s then of_binary_string s else of_text_string s
 
+(* Saves go through raw descriptors with the bounded-retry layer
+   (EINTR/EAGAIN on write and fsync) and an fsync before close: a profile
+   is the expensive artifact of a long profiling run, so an operator
+   signal or a momentary transient must not leave a torn file whose only
+   diagnosis is a checksum mismatch at the next load. *)
 let save ?(binary = false) path profile =
-  let oc = open_out_bin path in
+  let body = (if binary then to_binary_string else to_string) profile in
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
   Fun.protect
-    ~finally:(fun () -> close_out oc)
+    ~finally:(fun () -> Unix.close fd)
     (fun () ->
-      output_string oc
-        ((if binary then to_binary_string else to_string) profile))
+      Retry.write_all fd (Bytes.unsafe_of_string body) 0 (String.length body);
+      Retry.fsync fd)
 
 let load path =
   match

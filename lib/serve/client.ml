@@ -1,0 +1,197 @@
+type t = { fd : Unix.file_descr; mutable seq : int; mutable closed : bool }
+
+let client_fault message = Fault.bad_input ~context:"client" message
+
+let connect sockaddr =
+  Fault.protect ~context:"client" (fun () ->
+      let domain = Unix.domain_of_sockaddr sockaddr in
+      let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd sockaddr
+       with e ->
+         (try Unix.close fd with Unix.Unix_error _ -> ());
+         raise e);
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO 30.0;
+      { fd; seq = 0; closed = false })
+
+let connect_unix path = connect (Unix.ADDR_UNIX path)
+
+let connect_tcp ~host ~port =
+  match Unix.inet_addr_of_string host with
+  | addr -> connect (Unix.ADDR_INET (addr, port))
+  | exception _ ->
+    (match Unix.gethostbyname host with
+     | { Unix.h_addr_list = [||]; _ } | (exception Not_found) ->
+       Error (client_fault (Printf.sprintf "cannot resolve host %S" host))
+     | { Unix.h_addr_list; _ } ->
+       connect (Unix.ADDR_INET (h_addr_list.(0), port)))
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let fd t = t.fd
+
+let ( let* ) = Result.bind
+
+let rpc t ?timeout_ms request =
+  t.seq <- t.seq + 1;
+  let seq = t.seq in
+  let payload =
+    Protocol.encode_request
+      { rq_seq = seq; rq_timeout_ms = timeout_ms; rq_body = request }
+  in
+  let* () =
+    Fault.protect ~context:"client" (fun () ->
+        Protocol.write_frame t.fd Request payload)
+  in
+  (* Read until our sequence number answers.  Protocol-level faults are
+     sent with seq 0 (the server could not read a sequence number out of
+     the offending frame) and refer to the frame just sent. *)
+  let rec await () =
+    match Protocol.read_frame t.fd with
+    | Error Closed -> Error (client_fault "server closed the connection")
+    | Error (Desync f) | Error (Corrupt f) -> Error f
+    | Ok (Request, _) -> Error (client_fault "unexpected request frame")
+    | Ok (Reply, payload) ->
+      let* env = Protocol.decode_reply payload in
+      if env.rp_seq = seq then Ok env.rp_body
+      else if env.rp_seq = 0 then
+        match env.rp_body with
+        | Fault_reply f -> Error f
+        | Ok_reply _ -> await ()
+      else await ()
+  in
+  await ()
+
+let expect_ok op = function
+  | Protocol.Fault_reply f -> Error f
+  | Protocol.Ok_reply { rp_op; rp_kv } ->
+    if rp_op = op then Ok rp_kv
+    else
+      Error
+        (client_fault (Printf.sprintf "expected %S reply, got %S" op rp_op))
+
+let ping t =
+  let* reply = rpc t Protocol.Ping in
+  let* _ = expect_ok "pong" reply in
+  Ok ()
+
+let health t =
+  let* reply = rpc t Protocol.Health in
+  expect_ok "health" reply
+
+let load t bytes =
+  let* reply = rpc t (Protocol.Load bytes) in
+  let* kv = expect_ok "load" reply in
+  match List.assoc_opt "profile" kv with
+  | Some key -> Ok key
+  | None -> Error (client_fault "load reply missing profile key")
+
+type prediction = {
+  pr_cpi : float;
+  pr_cycles : float;
+  pr_watts : float;
+  pr_seconds : float;
+  pr_energy_j : float;
+  pr_ed2p : float;
+  pr_stack : (string * float) list;
+}
+
+let float_field kv key =
+  match List.assoc_opt key kv with
+  | None -> Error (client_fault (Printf.sprintf "reply missing %S" key))
+  | Some v ->
+    (match float_of_string_opt v with
+     | Some f -> Ok f
+     | None ->
+       Error (client_fault (Printf.sprintf "reply field %S is not a float" key)))
+
+let predict t ?timeout_ms ?(prefetch = false) ~profile ~config () =
+  let* reply =
+    rpc t ?timeout_ms
+      (Protocol.Predict
+         { rq_profile = profile; rq_config = config; rq_prefetch = prefetch })
+  in
+  let* kv = expect_ok "predict" reply in
+  let* pr_cpi = float_field kv "cpi" in
+  let* pr_cycles = float_field kv "cycles" in
+  let* pr_watts = float_field kv "watts" in
+  let* pr_seconds = float_field kv "seconds" in
+  let* pr_energy_j = float_field kv "energy_j" in
+  let* pr_ed2p = float_field kv "ed2p" in
+  let pr_stack =
+    List.filter_map
+      (fun (k, v) ->
+        if String.length k > 6 && String.sub k 0 6 = "stack_" then
+          Option.map
+            (fun f -> (String.sub k 6 (String.length k - 6), f))
+            (float_of_string_opt v)
+        else None)
+      kv
+  in
+  Ok { pr_cpi; pr_cycles; pr_watts; pr_seconds; pr_energy_j; pr_ed2p; pr_stack }
+
+type sweep_point = {
+  sp_index : int;
+  sp_cpi : float;
+  sp_cycles : float;
+  sp_watts : float;
+  sp_seconds : float;
+  sp_energy_j : float;
+  sp_ed2p : float;
+}
+
+let parse_point line =
+  match String.split_on_char ' ' line with
+  | [ i; cpi; cycles; watts; seconds; energy; ed2p ] ->
+    (match
+       ( int_of_string_opt i,
+         float_of_string_opt cpi,
+         float_of_string_opt cycles,
+         float_of_string_opt watts,
+         float_of_string_opt seconds,
+         float_of_string_opt energy,
+         float_of_string_opt ed2p )
+     with
+     | Some sp_index, Some sp_cpi, Some sp_cycles, Some sp_watts,
+       Some sp_seconds, Some sp_energy_j, Some sp_ed2p ->
+       Ok
+         { sp_index; sp_cpi; sp_cycles; sp_watts; sp_seconds; sp_energy_j;
+           sp_ed2p }
+     | _ -> Error (client_fault ("bad sweep point: " ^ line)))
+  | _ -> Error (client_fault ("bad sweep point: " ^ line))
+
+let sweep t ?timeout_ms ~profile ~space ~offset ~limit () =
+  let* reply =
+    rpc t ?timeout_ms
+      (Protocol.Sweep
+         { rq_profile = profile; rq_space = space; rq_offset = offset;
+           rq_limit = limit })
+  in
+  let* kv = expect_ok "sweep" reply in
+  let* faulted =
+    match List.assoc_opt "faulted" kv with
+    | Some v ->
+      (match int_of_string_opt v with
+       | Some n -> Ok n
+       | None -> Error (client_fault "bad faulted count"))
+    | None -> Error (client_fault "sweep reply missing faulted count")
+  in
+  let* points =
+    List.fold_left
+      (fun acc (k, v) ->
+        let* acc = acc in
+        if k = "point" then
+          let* p = parse_point v in
+          Ok (p :: acc)
+        else Ok acc)
+      (Ok []) kv
+  in
+  Ok (List.rev points, faulted)
+
+let crash t =
+  let* reply = rpc t Protocol.Crash in
+  let* _ = expect_ok "crash" reply in
+  Ok ()

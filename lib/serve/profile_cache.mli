@@ -1,0 +1,43 @@
+(** Content-addressed LRU cache of prepared profiles.
+
+    A [Load] request uploads raw profile bytes once; every later query
+    names the profile by the MD5 hex digest of those bytes, so clients
+    never resend multi-megabyte payloads and identical uploads from
+    different clients share one cached entry.  Insertion parses,
+    validates ({!Profile.validate} runs inside {!Profile_io.of_string})
+    and {!Profile.prepare}s the profile, so the first query against it
+    pays no StatStack construction cost.
+
+    Eviction must also bound the global StatStack memo table (it is
+    keyed by histogram identity and would otherwise grow with every
+    profile ever loaded), so evicting clears the memo and re-prepares
+    the survivors — expensive, but eviction is rare at sensible
+    capacities.  All operations are mutex-protected: worker domains and
+    connection threads share one cache. *)
+
+type t
+
+val create : capacity:int -> t
+(** [capacity] is the maximum number of resident profiles (>= 1). *)
+
+val key_of_bytes : string -> string
+(** The content key: lowercase MD5 hex digest of the raw bytes. *)
+
+val load : t -> string -> (string, Fault.t) result
+(** Parse, validate, prepare and insert raw profile bytes; returns the
+    content key.  Loading bytes already resident is a cheap no-op
+    (refreshes recency).  Structured [Bad_input] on malformed bytes. *)
+
+val find : t -> string -> (Profile.t, Fault.t) result
+(** Look up by content key, refreshing recency.  [Bad_input] with an
+    [unknown profile] message when absent (the client reloads). *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  loads : int;  (** successful [load] calls that inserted a new entry *)
+  evictions : int;
+  resident : int;
+}
+
+val stats : t -> stats

@@ -1,0 +1,361 @@
+let version = 1
+let max_payload = 64 * 1024 * 1024
+let magic = "MIPQ"
+let header_len = 10
+let trailer_len = 4
+
+type kind = Request | Reply
+
+type request =
+  | Ping
+  | Health
+  | Load of string
+  | Predict of { rq_profile : string; rq_config : string; rq_prefetch : bool }
+  | Sweep of { rq_profile : string; rq_space : string; rq_offset : int;
+               rq_limit : int }
+  | Crash
+
+type envelope = {
+  rq_seq : int;
+  rq_timeout_ms : int option;
+  rq_body : request;
+}
+
+type reply =
+  | Ok_reply of { rp_op : string; rp_kv : (string * string) list }
+  | Fault_reply of Fault.t
+
+type reply_envelope = { rp_seq : int; rp_body : reply }
+
+let proto_fault message = Fault.bad_input ~context:"protocol" message
+
+(* ---------------------------------------------------------------- *)
+(* Payload encoding: line-oriented "key value" text, with an optional
+   trailing "data <n>\n<raw bytes>" section for profile uploads. *)
+
+let add_kv buf k v =
+  Buffer.add_string buf k;
+  if v <> "" then begin Buffer.add_char buf ' '; Buffer.add_string buf v end;
+  Buffer.add_char buf '\n'
+
+let float_kv key v = (key, Printf.sprintf "%h" v)
+
+let encode_request { rq_seq; rq_timeout_ms; rq_body } =
+  let buf = Buffer.create 256 in
+  add_kv buf "seq" (string_of_int rq_seq);
+  (match rq_timeout_ms with
+   | Some ms -> add_kv buf "timeout_ms" (string_of_int ms)
+   | None -> ());
+  (match rq_body with
+   | Ping -> add_kv buf "op" "ping"
+   | Health -> add_kv buf "op" "health"
+   | Crash -> add_kv buf "op" "crash"
+   | Predict { rq_profile; rq_config; rq_prefetch } ->
+     add_kv buf "op" "predict";
+     add_kv buf "profile" rq_profile;
+     add_kv buf "config" rq_config;
+     add_kv buf "prefetch" (string_of_bool rq_prefetch)
+   | Sweep { rq_profile; rq_space; rq_offset; rq_limit } ->
+     add_kv buf "op" "sweep";
+     add_kv buf "profile" rq_profile;
+     add_kv buf "space" rq_space;
+     add_kv buf "offset" (string_of_int rq_offset);
+     add_kv buf "limit" (string_of_int rq_limit)
+   | Load data ->
+     add_kv buf "op" "load";
+     add_kv buf "data" (string_of_int (String.length data));
+     Buffer.add_string buf data);
+  Buffer.contents buf
+
+(* Split a payload into header lines and the raw section that follows a
+   "data <n>" line.  Returns (kv list in order, raw). *)
+let split_payload payload =
+  let rec lines acc pos =
+    if pos >= String.length payload then Ok (List.rev acc, "")
+    else
+      match String.index_from_opt payload pos '\n' with
+      | None -> Error (proto_fault "unterminated payload line")
+      | Some nl ->
+        let line = String.sub payload pos (nl - pos) in
+        let key, value =
+          match String.index_opt line ' ' with
+          | None -> (line, "")
+          | Some sp ->
+            (String.sub line 0 sp,
+             String.sub line (sp + 1) (String.length line - sp - 1))
+        in
+        if key = "data" then
+          match int_of_string_opt value with
+          | None -> Error (proto_fault "bad data length")
+          | Some n ->
+            let avail = String.length payload - (nl + 1) in
+            if n < 0 || n <> avail then
+              Error
+                (proto_fault
+                   (Printf.sprintf
+                      "data section length mismatch: declared %d, present %d"
+                      n avail))
+            else Ok (List.rev acc, String.sub payload (nl + 1) n)
+        else lines ((key, value) :: acc) (nl + 1)
+  in
+  lines [] 0
+
+let find kv key = List.assoc_opt key kv
+
+let require kv key =
+  match find kv key with
+  | Some v -> Ok v
+  | None -> Error (proto_fault (Printf.sprintf "missing field %S" key))
+
+let require_int kv key =
+  match require kv key with
+  | Error _ as e -> e
+  | Ok v ->
+    (match int_of_string_opt v with
+     | Some n -> Ok n
+     | None ->
+       Error (proto_fault (Printf.sprintf "field %S is not an integer" key)))
+
+let ( let* ) = Result.bind
+
+let decode_request payload =
+  let* kv, raw = split_payload payload in
+  let* seq = require_int kv "seq" in
+  let* timeout_ms =
+    match find kv "timeout_ms" with
+    | None -> Ok None
+    | Some v ->
+      (match int_of_string_opt v with
+       | Some ms when ms >= 0 -> Ok (Some ms)
+       | _ -> Error (proto_fault "bad timeout_ms"))
+  in
+  let* op = require kv "op" in
+  let* body =
+    match op with
+    | "ping" -> Ok Ping
+    | "health" -> Ok Health
+    | "crash" -> Ok Crash
+    | "load" -> Ok (Load raw)
+    | "predict" ->
+      let* rq_profile = require kv "profile" in
+      let* rq_config = require kv "config" in
+      let* prefetch =
+        match find kv "prefetch" with
+        | None -> Ok false
+        | Some v ->
+          (match bool_of_string_opt v with
+           | Some b -> Ok b
+           | None -> Error (proto_fault "bad prefetch flag"))
+      in
+      Ok (Predict { rq_profile; rq_config; rq_prefetch = prefetch })
+    | "sweep" ->
+      let* rq_profile = require kv "profile" in
+      let* rq_space = require kv "space" in
+      let* rq_offset = require_int kv "offset" in
+      let* rq_limit = require_int kv "limit" in
+      if rq_offset < 0 || rq_limit < 0 then
+        Error (proto_fault "negative sweep range")
+      else Ok (Sweep { rq_profile; rq_space; rq_offset; rq_limit })
+    | other -> Error (proto_fault (Printf.sprintf "unknown op %S" other))
+  in
+  Ok { rq_seq = seq; rq_timeout_ms = timeout_ms; rq_body = body }
+
+let escape_value v =
+  String.map (function '\n' | '\r' -> ' ' | c -> c) v
+
+let encode_reply { rp_seq; rp_body } =
+  let buf = Buffer.create 256 in
+  add_kv buf "seq" (string_of_int rp_seq);
+  (match rp_body with
+   | Ok_reply { rp_op; rp_kv } ->
+     add_kv buf "ok" rp_op;
+     List.iter (fun (k, v) -> add_kv buf k (escape_value v)) rp_kv
+   | Fault_reply fault -> add_kv buf "fault" (Fault.to_line fault));
+  Buffer.contents buf
+
+let decode_reply payload =
+  let* kv, _raw = split_payload payload in
+  let* seq = require_int kv "seq" in
+  let* body =
+    match find kv "ok", find kv "fault" with
+    | Some op, None ->
+      let rp_kv =
+        List.filter (fun (k, _) -> k <> "seq" && k <> "ok") kv
+      in
+      Ok (Ok_reply { rp_op = op; rp_kv })
+    | None, Some line ->
+      let tag, message =
+        match String.index_opt line ' ' with
+        | None -> (line, "")
+        | Some sp ->
+          (String.sub line 0 sp,
+           String.sub line (sp + 1) (String.length line - sp - 1))
+      in
+      (match Fault.of_line ~tag message with
+       | Some f -> Ok (Fault_reply f)
+       | None ->
+         Error (proto_fault (Printf.sprintf "unknown fault tag %S" tag)))
+    | _ -> Error (proto_fault "reply is neither ok nor fault")
+  in
+  Ok { rp_seq = seq; rp_body = body }
+
+(* ---------------------------------------------------------------- *)
+(* Framing. *)
+
+let kind_byte = function Request -> 'Q' | Reply -> 'R'
+
+let put_le32 bytes pos v =
+  Bytes.set bytes pos (Char.chr (v land 0xff));
+  Bytes.set bytes (pos + 1) (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set bytes (pos + 2) (Char.chr ((v lsr 16) land 0xff));
+  Bytes.set bytes (pos + 3) (Char.chr ((v lsr 24) land 0xff))
+
+let get_le32 s pos =
+  Char.code s.[pos]
+  lor (Char.code s.[pos + 1] lsl 8)
+  lor (Char.code s.[pos + 2] lsl 16)
+  lor (Char.code s.[pos + 3] lsl 24)
+
+let frame kind payload =
+  let n = String.length payload in
+  if n > max_payload then
+    invalid_arg "Protocol.frame: payload exceeds max_payload";
+  let total = header_len + n + trailer_len in
+  let bytes = Bytes.create total in
+  Bytes.blit_string magic 0 bytes 0 4;
+  Bytes.set bytes 4 (Char.chr version);
+  Bytes.set bytes 5 (kind_byte kind);
+  put_le32 bytes 6 n;
+  Bytes.blit_string payload 0 bytes header_len n;
+  let crc =
+    Crc32.update (Crc32.string (Bytes.sub_string bytes 0 header_len))
+      payload ~pos:0 ~len:n
+  in
+  put_le32 bytes (header_len + n) crc;
+  Bytes.unsafe_to_string bytes
+
+let check_header header =
+  if String.sub header 0 4 <> magic then
+    Error (proto_fault "bad magic (stream desynchronized)")
+  else if Char.code header.[4] <> version then
+    Error
+      (proto_fault
+         (Printf.sprintf "unsupported protocol version %d"
+            (Char.code header.[4])))
+  else
+    match header.[5] with
+    | 'Q' -> Ok Request
+    | 'R' -> Ok Reply
+    | c ->
+      Error (proto_fault (Printf.sprintf "bad frame kind byte 0x%02x"
+                            (Char.code c)))
+
+let check_len header =
+  let n = get_le32 header 6 in
+  if n < 0 || n > max_payload then
+    Error
+      (proto_fault
+         (Printf.sprintf "declared payload length %d exceeds cap %d" n
+            max_payload))
+  else Ok n
+
+let decode_frame buf =
+  let have = String.length buf in
+  if have < header_len then Error (proto_fault "truncated frame header")
+  else
+    let header = String.sub buf 0 header_len in
+    let* kind = check_header header in
+    let* n = check_len header in
+    let total = header_len + n + trailer_len in
+    if have < total then
+      Error
+        (proto_fault
+           (Printf.sprintf "truncated frame: need %d bytes, have %d" total
+              have))
+    else
+      let payload = String.sub buf header_len n in
+      let expect =
+        Crc32.update (Crc32.string header) payload ~pos:0 ~len:n
+      in
+      let got = get_le32 buf (header_len + n) in
+      if got <> expect then Error (proto_fault "frame CRC mismatch")
+      else Ok (kind, payload, total)
+
+(* ---------------------------------------------------------------- *)
+(* Blocking frame I/O. *)
+
+type frame_error =
+  | Closed
+  | Desync of Fault.t
+  | Corrupt of Fault.t
+
+exception Idle_timeout
+
+(* Read exactly [len] bytes.  [at_start] marks the first read of a frame:
+   a receive timeout there means an idle (but live) connection, which the
+   caller treats as "keep waiting"; a timeout after any byte of the frame
+   has arrived means a stalled (slow-loris) peer. *)
+let read_exact fd bytes pos len ~at_start =
+  let got = ref 0 in
+  (try
+     while !got < len do
+       let n =
+         try Retry.read fd bytes (pos + !got) (len - !got) with
+         | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+           if at_start && !got = 0 then raise Idle_timeout
+           else
+             raise
+               (Fault.Error
+                  (proto_fault "peer stalled mid-frame (slow-loris guard)"))
+         | Unix.Unix_error (Unix.ECONNRESET, _, _) ->
+           (* A peer that vanished with data in flight resets instead of
+              closing; to the reader that is just an abrupt close. *)
+           0
+       in
+       if n = 0 then
+         if at_start && !got = 0 then raise Exit
+         else
+           raise
+             (Fault.Error (proto_fault "connection closed mid-frame"))
+       else got := !got + n
+     done;
+     `Full
+   with
+   | Exit -> `Eof
+   | Fault.Error f -> `Fault f)
+
+let rec read_frame ?(should_stop = fun () -> false) fd =
+  let header = Bytes.create header_len in
+  match read_exact fd header 0 header_len ~at_start:true with
+  | exception Idle_timeout ->
+    if should_stop () then Error Closed else read_frame ~should_stop fd
+  | `Eof -> Error Closed
+  | `Fault f -> Error (Desync f)
+  | `Full ->
+    let header = Bytes.to_string header in
+    (match check_header header with
+     | Error f -> Error (Desync f)
+     | Ok kind ->
+       (match check_len header with
+        | Error f -> Error (Desync f)
+        | Ok n ->
+          let rest = Bytes.create (n + trailer_len) in
+          (match read_exact fd rest 0 (n + trailer_len) ~at_start:false with
+           | exception Idle_timeout -> assert false
+           | `Eof | `Fault _ ->
+             Error (Desync (proto_fault "connection closed mid-frame"))
+           | `Full ->
+             let payload = Bytes.sub_string rest 0 n in
+             let expect =
+               Crc32.update (Crc32.string header) payload ~pos:0 ~len:n
+             in
+             let got = get_le32 (Bytes.to_string rest) n in
+             if got <> expect then
+               Error (Corrupt (proto_fault "frame CRC mismatch"))
+             else Ok (kind, payload))))
+
+let write_frame fd kind payload =
+  let wire = frame kind payload in
+  Retry.write_all fd
+    (Bytes.unsafe_of_string wire)
+    0 (String.length wire)

@@ -11,12 +11,19 @@
     - [Numeric]: an evaluation that completed but produced a non-finite
       or otherwise impossible number (NaN CPI, negative cycles).
     - [Worker_crash]: an exception escaping a worker, captured with its
-      backtrace instead of aborting the whole batch. *)
+      backtrace instead of aborting the whole batch.
+    - [Timeout]: the work was admitted but its deadline passed before
+      (or while) it ran — the serving layer's per-request deadline
+      outcome, first-class so it survives logs and wire replies.
+    - [Overload]: the work was never admitted — shed by a bounded queue,
+      a degraded-mode policy, or a draining shutdown. *)
 
 type t =
   | Bad_input of { context : string; line : int option; message : string }
   | Numeric of string
   | Worker_crash of exn * Printexc.raw_backtrace
+  | Timeout of string
+  | Overload of string
 
 exception Error of t
 (** The exception form, for boundaries that still raise. *)
@@ -24,12 +31,15 @@ exception Error of t
 val bad_input : ?line:int -> context:string -> string -> t
 val numeric : string -> t
 val worker_crash : exn -> Printexc.raw_backtrace -> t
+val timeout : string -> t
+val overload : string -> t
 
 val to_string : t -> string
 (** One-line human-readable rendering (context, line, message). *)
 
 val tag : t -> string
-(** Stable short kind name: ["bad-input"], ["numeric"] or ["crash"]. *)
+(** Stable short kind name: ["bad-input"], ["numeric"], ["crash"],
+    ["timeout"] or ["overload"]. *)
 
 val to_line : t -> string
 (** [tag ^ " " ^ message] with newlines flattened — the checkpoint-log

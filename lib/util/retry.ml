@@ -1,0 +1,53 @@
+let default_attempts = 8
+let max_eintr_retries = 1024
+let base_backoff_s = 0.001
+let max_backoff_s = 0.100
+
+let backoff_s ~attempt =
+  let attempt = max 0 attempt in
+  (* 2^attempt without drifting into float overflow for silly inputs. *)
+  if attempt >= 7 then max_backoff_s
+  else Float.min max_backoff_s (base_backoff_s *. Float.of_int (1 lsl attempt))
+
+let is_transient = function
+  | Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> true
+  | _ -> false
+
+let with_retries ?(attempts = default_attempts) ~what f =
+  let rec go ~eintr ~slept =
+    match f () with
+    | v -> v
+    | exception Unix.Unix_error (Unix.EINTR, _, _) when eintr < max_eintr_retries
+      ->
+      go ~eintr:(eintr + 1) ~slept
+    | exception
+        Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+      when slept < attempts ->
+      Unix.sleepf (backoff_s ~attempt:slept);
+      go ~eintr ~slept:(slept + 1)
+    | exception (Unix.Unix_error (err, _, _) as e) when is_transient e ->
+      (* Budget spent: surface the original error, annotated once. *)
+      raise
+        (Unix.Unix_error
+           (err, what ^ " (retries exhausted)", string_of_int (eintr + slept)))
+  in
+  go ~eintr:0 ~slept:0
+
+let read fd buf pos len =
+  with_retries ~what:"read" (fun () -> Unix.read fd buf pos len)
+
+let write_all fd buf pos len =
+  (* Partial writes restart the retry budget: progress was made, so the
+     descriptor is live — only consecutive transient failures count. *)
+  let off = ref pos in
+  let remaining () = pos + len - !off in
+  while remaining () > 0 do
+    let n =
+      with_retries ~what:"write" (fun () -> Unix.write fd buf !off (remaining ()))
+    in
+    if n = 0 then
+      raise (Unix.Unix_error (Unix.EPIPE, "write", "zero-length write"));
+    off := !off + n
+  done
+
+let fsync fd = with_retries ~what:"fsync" (fun () -> Unix.fsync fd)

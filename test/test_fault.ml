@@ -29,7 +29,9 @@ let test_fault_line_roundtrip () =
   let faults =
     [ Fault.bad_input ~line:7 ~context:"profile" "bad integer \"x\"";
       Fault.numeric "design point 3: non-finite watts (nan)";
-      Fault.worker_crash (Failure "boom\nwith newline") (Printexc.get_callstack 0) ]
+      Fault.worker_crash (Failure "boom\nwith newline") (Printexc.get_callstack 0);
+      Fault.timeout "per-request deadline exceeded";
+      Fault.overload "admission queue full (64 pending)" ]
   in
   List.iter
     (fun ft ->
@@ -47,6 +49,26 @@ let test_fault_line_roundtrip () =
     faults;
   Alcotest.(check bool) "unknown tag rejected" true
     (Fault.of_line ~tag:"martian" "msg" = None)
+
+let test_serving_faults_roundtrip_exactly () =
+  (* Timeout/Overload carry plain messages, so — unlike Worker_crash,
+     which loses its exception identity — their round-trip through a log
+     line or wire frame is exact. *)
+  List.iter
+    (fun ft ->
+      let line = Fault.to_line ft in
+      let i = String.index line ' ' in
+      let tag = String.sub line 0 i in
+      let rest = String.sub line (i + 1) (String.length line - i - 1) in
+      match Fault.of_line ~tag rest with
+      | Some back -> Alcotest.(check bool) ("exact: " ^ line) true (ft = back)
+      | None -> Alcotest.failf "of_line rejected %S" line)
+    [
+      Fault.timeout "deadline exceeded after 250 ms";
+      Fault.timeout "";
+      Fault.overload "queue full";
+      Fault.overload "degraded mode: batch requests shed";
+    ]
 
 (* ---- Parallel.map_result ---- *)
 
@@ -177,6 +199,8 @@ let () =
       ( "fault",
         [
           Alcotest.test_case "line round-trip" `Quick test_fault_line_roundtrip;
+          Alcotest.test_case "timeout/overload exact round-trip" `Quick
+            test_serving_faults_roundtrip_exactly;
         ] );
       ( "parallel",
         [
