@@ -1965,6 +1965,137 @@ let validate_accuracy () =
   | Error ft -> failwith ("validate_accuracy: " ^ Fault.to_string ft));
   print_endline "wrote BENCH_accuracy.json"
 
+(* ================= calibrate: grey-box residual calibration =========== *)
+
+(* The calibration regression: train the residual calibrator on the same
+   matrix validate_accuracy gates on, and hold it to the hard ISSUE
+   gates — held-out calibrated MAPE at most half the uncalibrated
+   baseline (4.33%), byte-identical re-training, and bit-exact
+   application across job counts. *)
+let calibrate_bench () =
+  Table.section "Grey-box calibration (residual learner over the CPI stack)";
+  let workload_dir =
+    match
+      List.find_opt
+        (fun d -> Sys.file_exists (Filename.concat d "streaming_fp.workload"))
+        [ "workloads"; "../workloads"; "../../workloads" ]
+    with
+    | Some d -> d
+    | None -> failwith "calibrate: cannot locate the workloads/ directory"
+  in
+  let specs =
+    List.map
+      (fun name ->
+        match Workload_parser.load (Filename.concat workload_dir name) with
+        | Ok spec -> spec
+        | Error ft -> failwith ("calibrate: " ^ Fault.to_string ft))
+      [ "branchy_interpreter.workload"; "pointer_soup.workload";
+        "streaming_fp.workload" ]
+  in
+  let configs = Validate.matrix_configs `Sim in
+  let t0 = Unix.gettimeofday () in
+  let reports =
+    List.map
+      (fun spec ->
+        match
+          Validate.run_workload ~jobs:Harness.jobs ~seed:Harness.seed
+            ~n_instructions:Harness.n_space ~spec configs
+        with
+        | Ok wr -> wr
+        | Error ft -> failwith ("calibrate: " ^ Fault.to_string ft))
+      specs
+  in
+  let matrix_s = Unix.gettimeofday () -. t0 in
+  let rows = Validate.matrix_of_report (Validate.summarize reports) in
+  let t1 = Unix.gettimeofday () in
+  let model, ev =
+    match Calibrate.train rows with
+    | Ok r -> r
+    | Error ft -> failwith ("calibrate: " ^ Fault.to_string ft)
+  in
+  let train_s = Unix.gettimeofday () -. t1 in
+  let pe label (e : Calibrate.set_error) =
+    Printf.printf "  %-22s %3d points  MAPE %6.2f%% -> %6.2f%%\n" label
+      e.Calibrate.se_n
+      (100.0 *. e.se_uncal_mape)
+      (100.0 *. e.se_cal_mape)
+  in
+  pe "train" ev.Calibrate.ev_train;
+  pe "holdout" ev.ev_holdout;
+  List.iter (fun (w, e) -> pe ("holdout/" ^ w) e) ev.ev_workloads;
+  Printf.printf "  matrix %.1fs (%d rows), training %.2fs\n" matrix_s
+    (List.length rows) train_s;
+  (* Gate 1: held-out calibrated MAPE at most half the uncalibrated
+     baseline. *)
+  if not (Calibrate.passes_gate ev ~gate:Calibrate.default_gate) then
+    failwith
+      (Printf.sprintf
+         "calibrate: held-out MAPE %.2f%% exceeds the %.2f%% gate"
+         (100.0 *. ev.ev_holdout.se_cal_mape)
+         (100.0 *. Calibrate.default_gate));
+  (* Gate 2: training is deterministic — a second run over the same
+     matrix serializes byte-identically. *)
+  let model2 =
+    match Calibrate.train rows with
+    | Ok (m, _) -> m
+    | Error ft -> failwith ("calibrate: " ^ Fault.to_string ft)
+  in
+  let deterministic = Calibrate.to_string model = Calibrate.to_string model2 in
+  if not deterministic then
+    failwith "calibrate: re-training is not byte-identical";
+  (* Gate 3: applying the model is bit-exact across job counts. *)
+  let profile =
+    Profiler.profile (List.hd specs) ~seed:Harness.seed
+      ~n_instructions:Harness.n_space
+  in
+  let adjust = Calibrate.sweep_adjust model ~profile in
+  let fingerprint jobs =
+    List.map
+      (fun (e : Sweep.eval) -> Int64.bits_of_float e.sw_cycles)
+      (Sweep.model_sweep ~jobs ~adjust ~profile Uarch.design_space)
+  in
+  let jobs_exact = fingerprint 1 = fingerprint (Harness.effective_jobs 4) in
+  if not jobs_exact then
+    failwith "calibrate: calibrated sweep is not bit-exact across job counts";
+  Printf.printf
+    "  re-train byte-identical: %b; -j 1 vs -j 4 apply bit-exact: %b\n"
+    deterministic jobs_exact;
+  let oc = open_out "BENCH_calibrate.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"n_rows\": %d,\n\
+    \  \"n_train\": %d,\n\
+    \  \"n_holdout\": %d,\n\
+    \  \"n_features\": %d,\n\
+    \  \"train_uncal_mape\": %.6f,\n\
+    \  \"train_cal_mape\": %.6f,\n\
+    \  \"holdout_uncal_mape\": %.6f,\n\
+    \  \"holdout_cal_mape\": %.6f,\n\
+    \  \"gate\": %.6f,\n\
+    \  \"gate_passed\": %b,\n\
+    \  \"retrain_byte_identical\": %b,\n\
+    \  \"jobs_bit_exact\": %b,\n\
+    \  \"matrix_seconds\": %.3f,\n\
+    \  \"train_seconds\": %.3f,\n\
+    \  \"workloads\": {%s}\n\
+     }\n"
+    (List.length rows) ev.ev_train.se_n ev.ev_holdout.se_n
+    (List.length model.Calibrate.c_feature_names)
+    ev.ev_train.se_uncal_mape ev.ev_train.se_cal_mape
+    ev.ev_holdout.se_uncal_mape ev.ev_holdout.se_cal_mape
+    Calibrate.default_gate
+    (Calibrate.passes_gate ev ~gate:Calibrate.default_gate)
+    deterministic jobs_exact matrix_s train_s
+    (String.concat ", "
+       (List.map
+          (fun (w, (e : Calibrate.set_error)) ->
+            Printf.sprintf
+              "\"%s\": {\"uncal_mape\": %.6f, \"cal_mape\": %.6f}" w
+              e.se_uncal_mape e.se_cal_mape)
+          ev.ev_workloads));
+  close_out oc;
+  print_endline "wrote BENCH_calibrate.json"
+
 (* ================= Driver ================= *)
 
 (* ================= serve: the model-serving daemon under load ========= *)
@@ -2256,6 +2387,8 @@ let experiments =
     ("sweep_faults", "fault isolation + checkpointed sweep overhead", sweep_faults);
     ("validate_accuracy", "model-vs-simulator CPI-stack error + gate",
      validate_accuracy);
+    ("calibrate", "grey-box calibration: held-out MAPE + determinism gates",
+     calibrate_bench);
     ("serve", "serving daemon: qps, tail latency, fault drills", serve_bench);
   ]
 

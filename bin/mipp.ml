@@ -464,6 +464,17 @@ let block_size_arg =
   in
   Arg.(value & opt (some int) None & info [ "block-size" ] ~docv:"B" ~doc)
 
+let calibrate_file_arg =
+  let doc =
+    "Apply a trained calibration model (written by `mipp calibrate train`) \
+     to every analytical prediction."
+  in
+  Arg.(value & opt (some string) None & info [ "calibrate" ] ~docv:"FILE" ~doc)
+
+let load_calibrator = function
+  | None -> None
+  | Some path -> Some (or_die (Calibrate.load path))
+
 let refine_arg =
   let doc =
     "Pareto-guided hierarchical refinement: evaluate a coarse axis-subgrid, \
@@ -498,8 +509,8 @@ let run_refine_sweep ~space ~profile:p ~jobs =
          r.rf_front_evals);
   if r.rf_failed > 0 then exit exit_partial_failure
 
-let run_stream_sweep ~space ~profile:p ~jobs ~checkpoint ~resume ~keep_going
-    ~offset ~limit ~block_size =
+let run_stream_sweep ~space ~profile:p ~jobs ~adjust ~checkpoint ~resume
+    ~keep_going ~offset ~limit ~block_size =
   (* The streaming checkpoint doubles as resume; accept --resume as the
      log path when --checkpoint was not given. *)
   let checkpoint =
@@ -508,8 +519,8 @@ let run_stream_sweep ~space ~profile:p ~jobs ~checkpoint ~resume ~keep_going
   let t0 = Unix.gettimeofday () in
   let s =
     or_die
-      (Sweep.model_sweep_stream ~jobs ?checkpoint ?block_size ~keep_going
-         ?offset ?length:limit ~profile:p space)
+      (Sweep.model_sweep_stream ~jobs ?adjust ?checkpoint ?block_size
+         ~keep_going ?offset ?length:limit ~profile:p space)
   in
   let dt = Unix.gettimeofday () -. t0 in
   (match s.Sweep.ss_sample_fault with
@@ -560,24 +571,33 @@ let run_stream_sweep ~space ~profile:p ~jobs ~checkpoint ~resume ~keep_going
   if s.ss_failed > 0 || s.ss_skipped_blocks > 0 then exit exit_partial_failure
 
 let sweep_cmd =
-  let run bench n seed jobs profile_file checkpoint resume keep_going
+  let run bench n seed jobs profile_file calibrate checkpoint resume keep_going
       space_name stream limit offset block_size refine =
     install_checkpoint_flush ~checkpoint ~resume;
     let p = obtain_profile ~bench ~n ~seed profile_file in
     let space = or_die (Config_space.find space_name) in
+    let adjust =
+      Option.map (fun m -> Calibrate.sweep_adjust m ~profile:p)
+        (load_calibrator calibrate)
+    in
+    if refine && Option.is_some adjust then
+      or_die
+        (Error
+           (Fault.bad_input ~context:"sweep"
+              "--calibrate is not supported with --refine"));
     let streaming =
       stream || space_name <> "default" || limit <> None || offset <> None
       || block_size <> None
     in
     if refine then run_refine_sweep ~space ~profile:p ~jobs
     else if streaming then
-      run_stream_sweep ~space ~profile:p ~jobs ~checkpoint ~resume ~keep_going
-        ~offset ~limit ~block_size
+      run_stream_sweep ~space ~profile:p ~jobs ~adjust ~checkpoint ~resume
+        ~keep_going ~offset ~limit ~block_size
     else begin
     let t0 = Unix.gettimeofday () in
     let outcome =
       or_die
-        (Sweep.model_sweep_result ~jobs ?checkpoint ?resume ~keep_going
+        (Sweep.model_sweep_result ~jobs ?adjust ?checkpoint ?resume ~keep_going
            ~profile:p Uarch.design_space)
     in
     let dt = Unix.gettimeofday () -. t0 in
@@ -621,9 +641,9 @@ let sweep_cmd =
          "Analytical design-space sweep (checkpointable, fault-isolated; \
           --stream scales to million-point generated spaces)")
     Term.(const run $ bench_arg $ instructions_arg $ seed_arg $ jobs_arg
-          $ profile_file_arg $ checkpoint_arg $ resume_arg $ keep_going_arg
-          $ space_arg $ stream_arg $ limit_arg $ offset_arg $ block_size_arg
-          $ refine_arg)
+          $ profile_file_arg $ calibrate_file_arg $ checkpoint_arg
+          $ resume_arg $ keep_going_arg $ space_arg $ stream_arg $ limit_arg
+          $ offset_arg $ block_size_arg $ refine_arg)
 
 (* ---- validate ---- *)
 
@@ -667,9 +687,20 @@ let validate_cmd =
     let doc = "Write the machine-readable accuracy report (JSON) to $(docv)." in
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
   in
-  let run benches spec_files matrix n seed jobs checkpoint resume keep_going
-      gate output =
+  let matrix_out_arg =
+    let doc =
+      "Write the typed training matrix (model and simulator CPI stacks plus \
+       workload statistics per point, schema mipp-matrix-v1) to $(docv) — \
+       the input `mipp calibrate train --matrix-file` consumes."
+    in
+    Arg.(value & opt (some string) None & info [ "matrix-out" ] ~docv:"FILE" ~doc)
+  in
+  let run benches spec_files matrix n seed jobs calibrate checkpoint resume
+      keep_going gate output matrix_out =
     install_checkpoint_flush ~checkpoint ~resume;
+    let calibrate =
+      Option.map Calibrate.calibrator (load_calibrator calibrate)
+    in
     let matrix = or_die (Validate.matrix_of_string matrix) in
     let configs = Validate.matrix_configs matrix in
     let specs =
@@ -690,7 +721,7 @@ let validate_cmd =
         (fun spec ->
           or_die
             (Validate.run_workload ~jobs ?checkpoint ?resume ~keep_going ~seed
-               ~n_instructions:n ~spec configs))
+               ~n_instructions:n ?calibrate ~spec configs))
         specs
     in
     let report = Validate.summarize reports in
@@ -714,6 +745,11 @@ let validate_cmd =
         or_die (Validate.save_json ~gate path report);
         Printf.printf "wrote %s\n" path)
       output;
+    Option.iter
+      (fun path ->
+        or_die (Validate.save_matrix path (Validate.matrix_of_report report));
+        Printf.printf "wrote %s\n" path)
+      matrix_out;
     if not (Validate.passes_gate report ~gate) then begin
       Printf.eprintf
         "mipp: accuracy gate failed: MAPE %.2f%% > %.2f%% (or no point \
@@ -731,8 +767,287 @@ let validate_cmd =
           checkpointable; exits 1 on faulted points or a failed accuracy \
           gate)")
     Term.(const run $ vbenches_arg $ vspec_files_arg $ matrix_arg
-          $ vinstructions_arg $ seed_arg $ jobs_arg $ checkpoint_arg
-          $ resume_arg $ keep_going_arg $ gate_arg $ json_arg)
+          $ vinstructions_arg $ seed_arg $ jobs_arg $ calibrate_file_arg
+          $ checkpoint_arg $ resume_arg $ keep_going_arg $ gate_arg $ json_arg
+          $ matrix_out_arg)
+
+(* ---- calibrate ---- *)
+
+let print_set_error label (e : Calibrate.set_error) =
+  Printf.printf
+    "  %-12s %4d points  MAPE %6.2f%% -> %6.2f%%  max |CPI err| %.4f\n"
+    label e.Calibrate.se_n
+    (100.0 *. e.se_uncal_mape)
+    (100.0 *. e.se_cal_mape)
+    e.se_max_abs
+
+let print_evaluation (ev : Calibrate.evaluation) =
+  print_set_error "train" ev.Calibrate.ev_train;
+  print_set_error "holdout" ev.ev_holdout;
+  List.iter (fun (w, e) -> print_set_error ("  " ^ w) e) ev.ev_workloads
+
+let check_calib_gate ~gate (ev : Calibrate.evaluation) =
+  if not (Calibrate.passes_gate ev ~gate) then begin
+    Printf.eprintf
+      "mipp: calibration gate failed: held-out MAPE %.2f%% > %.2f%% (or empty \
+       holdout)\n"
+      (100.0 *. ev.Calibrate.ev_holdout.se_cal_mape)
+      (100.0 *. gate);
+    exit exit_partial_failure
+  end
+
+let calib_gate_arg =
+  let doc =
+    "Fail (exit 1) when the held-out calibrated MAPE exceeds $(docv) (a \
+     fraction: 0.0433 = 4.33%, half the uncalibrated baseline)."
+  in
+  Arg.(
+    value & opt float Calibrate.default_gate & info [ "gate" ] ~docv:"GATE" ~doc)
+
+let model_file_arg =
+  let doc = "Trained calibration model file (mipp-calib-v1)." in
+  Arg.(
+    required & opt (some string) None & info [ "model" ] ~docv:"FILE" ~doc)
+
+let matrix_file_arg =
+  let doc =
+    "Load a training matrix written by `mipp validate --matrix-out` (or \
+     `calibrate train --matrix-out`) instead of profiling and simulating."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "matrix-file" ] ~docv:"FILE" ~doc)
+
+let calibrate_cmd =
+  let cbenches_arg =
+    let doc = "Benchmark contributing training rows (repeatable)." in
+    Arg.(
+      value & opt_all string [] & info [ "b"; "benchmark" ] ~docv:"BENCH" ~doc)
+  in
+  let cspec_files_arg =
+    let doc = "Workload spec file contributing training rows (repeatable)." in
+    Arg.(value & opt_all string [] & info [ "spec-file" ] ~docv:"FILE" ~doc)
+  in
+  let cmatrix_arg =
+    let doc = "Design matrix to simulate: 'quick', 'sim' or 'full'." in
+    Arg.(value & opt string "sim" & info [ "matrix" ] ~docv:"MATRIX" ~doc)
+  in
+  let cinstructions_arg =
+    let doc = "Instructions to profile and simulate per point." in
+    Arg.(
+      value
+      & opt int Validate.default_n_instructions
+      & info [ "n"; "instructions" ] ~docv:"N" ~doc)
+  in
+  let matrix_out_arg =
+    let doc = "Also write the training matrix (mipp-matrix-v1) to $(docv)." in
+    Arg.(
+      value & opt (some string) None & info [ "matrix-out" ] ~docv:"FILE" ~doc)
+  in
+  let model_out_arg =
+    let doc = "Write the trained model (mipp-calib-v1) to $(docv)." in
+    Arg.(
+      value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let holdout_arg =
+    let doc =
+      "Held-out fraction of the matrix (deterministic split; the holdout \
+       never influences training or the sampler)."
+    in
+    Arg.(
+      value
+      & opt float Calibrate.default_options.opt_holdout
+      & info [ "holdout" ] ~docv:"FRAC" ~doc)
+  in
+  let lambda_arg =
+    let doc = "Ridge regularization strength." in
+    Arg.(
+      value
+      & opt float Calibrate.default_options.opt_lambda
+      & info [ "lambda" ] ~docv:"L" ~doc)
+  in
+  let rounds_arg =
+    let doc = "Boosting rounds per CPI-stack component (0 = ridge only)." in
+    Arg.(
+      value
+      & opt int Calibrate.default_options.opt_rounds
+      & info [ "rounds" ] ~docv:"R" ~doc)
+  in
+  let folds_arg =
+    let doc =
+      "Cross-validation folds (the fold-model ensemble behind `suggest`)."
+    in
+    Arg.(
+      value
+      & opt int Calibrate.default_options.opt_folds
+      & info [ "folds" ] ~docv:"K" ~doc)
+  in
+  let options ~holdout ~lambda ~rounds ~folds =
+    {
+      Calibrate.default_options with
+      opt_holdout = holdout;
+      opt_lambda = lambda;
+      opt_rounds = rounds;
+      opt_folds = folds;
+    }
+  in
+  let build_matrix ~benches ~spec_files ~matrix ~n ~seed ~jobs ~matrix_file =
+    match matrix_file with
+    | Some path -> or_die (Validate.load_matrix path)
+    | None ->
+      let matrix = or_die (Validate.matrix_of_string matrix) in
+      let configs = Validate.matrix_configs matrix in
+      let specs =
+        List.map find_bench benches
+        @ List.map (fun p -> or_die (Workload_parser.load p)) spec_files
+      in
+      let specs = if specs = [] then [ find_bench "gcc" ] else specs in
+      let reports =
+        List.map
+          (fun spec ->
+            or_die
+              (Validate.run_workload ~jobs ~seed ~n_instructions:n ~spec
+                 configs))
+          specs
+      in
+      Validate.matrix_of_report (Validate.summarize reports)
+  in
+  let train_cmd =
+    let run benches spec_files matrix n seed jobs matrix_file matrix_out
+        model_out holdout lambda rounds folds gate =
+      let t0 = Unix.gettimeofday () in
+      let rows =
+        build_matrix ~benches ~spec_files ~matrix ~n ~seed ~jobs ~matrix_file
+      in
+      Option.iter
+        (fun path ->
+          or_die (Validate.save_matrix path rows);
+          Printf.printf "wrote %s\n" path)
+        matrix_out;
+      let options = options ~holdout ~lambda ~rounds ~folds in
+      let model, ev = or_die (Calibrate.train ~options rows) in
+      Table.section
+        (Printf.sprintf
+           "Grey-box calibration: %d rows, %d features, %d boosting rounds \
+            (%.2fs)"
+           (List.length rows) (List.length model.Calibrate.c_feature_names)
+           rounds
+           (Unix.gettimeofday () -. t0));
+      print_evaluation ev;
+      Option.iter
+        (fun path ->
+          or_die (Calibrate.save path model);
+          Printf.printf "wrote %s\n" path)
+        model_out;
+      check_calib_gate ~gate ev
+    in
+    Cmd.v
+      (Cmd.info "train"
+         ~doc:
+           "Train the residual calibrator on a model-vs-simulator matrix and \
+            report train/held-out error (exit 1 when the held-out gate fails)")
+      Term.(const run $ cbenches_arg $ cspec_files_arg $ cmatrix_arg
+            $ cinstructions_arg $ seed_arg $ jobs_arg $ matrix_file_arg
+            $ matrix_out_arg $ model_out_arg $ holdout_arg $ lambda_arg
+            $ rounds_arg $ folds_arg $ calib_gate_arg)
+  in
+  let eval_cmd =
+    let req_matrix_file_arg =
+      let doc = "Training matrix (mipp-matrix-v1) to evaluate against." in
+      Arg.(
+        required
+        & opt (some string) None
+        & info [ "matrix-file" ] ~docv:"FILE" ~doc)
+    in
+    let run model matrix_file gate =
+      let m = or_die (Calibrate.load model) in
+      let rows = or_die (Validate.load_matrix matrix_file) in
+      let ev = Calibrate.evaluate m rows in
+      Table.section
+        (Printf.sprintf "Calibration evaluation: %d rows (all held out)"
+           (List.length rows));
+      print_evaluation ev;
+      check_calib_gate ~gate ev
+    in
+    Cmd.v
+      (Cmd.info "eval"
+         ~doc:
+           "Evaluate a trained model on an externally supplied matrix (every \
+            row treated as held out)")
+      Term.(const run $ model_file_arg $ req_matrix_file_arg $ calib_gate_arg)
+  in
+  let apply_cmd =
+    let run model bench spec_file n seed config prefetch =
+      let m = or_die (Calibrate.load model) in
+      let spec = find_workload bench spec_file in
+      let p = Profiler.profile spec ~seed ~n_instructions:n in
+      let u = find_config config in
+      let u = if prefetch then Uarch.with_prefetcher u true else u in
+      let pred = Interval_model.predict u p in
+      let stats = Validate.profile_stats p in
+      let stack = Interval_model.cpi_stack pred in
+      let cpi = Interval_model.cpi pred in
+      let cal_stack, cal_cpi = Calibrate.apply_stack m ~stats u (stack, cpi) in
+      Table.section
+        (Printf.sprintf "Calibrated prediction: %s on %s"
+           p.Profile.p_workload u.Uarch.name);
+      Table.print
+        ~header:[ "component"; "model CPI"; "calibrated CPI" ]
+        ~rows:
+          (List.map
+             (fun c ->
+               [
+                 Cpi_stack.to_string c;
+                 Table.fmt_f (Cpi_stack.get stack c);
+                 Table.fmt_f (Cpi_stack.get cal_stack c);
+               ])
+             Cpi_stack.all
+          @ [ [ "total"; Table.fmt_f cpi; Table.fmt_f cal_cpi ] ])
+    in
+    Cmd.v
+      (Cmd.info "apply"
+         ~doc:
+           "Apply a trained model to one prediction and show the analytical \
+            vs calibrated CPI stack")
+      Term.(const run $ model_file_arg $ bench_arg $ spec_file_arg
+            $ instructions_arg $ seed_arg $ config_arg $ prefetch_arg)
+  in
+  let suggest_cmd =
+    let count_arg =
+      let doc = "Number of design points to suggest." in
+      Arg.(value & opt int 5 & info [ "count" ] ~docv:"K" ~doc)
+    in
+    let run model bench spec_file n seed count =
+      let m = or_die (Calibrate.load model) in
+      let spec = find_workload bench spec_file in
+      let p = Profiler.profile spec ~seed ~n_instructions:n in
+      let ranked = Calibrate.suggest m ~profile:p ~n:count Uarch.design_space in
+      Table.section
+        (Printf.sprintf
+           "Active-learning suggestions: %s (fold-model disagreement, holdout \
+            points excluded)"
+           p.Profile.p_workload);
+      Table.print
+        ~header:[ "design point"; "disagreement (CPI stdev)" ]
+        ~rows:
+          (List.map
+             (fun (u, score) ->
+               [ u.Uarch.name; Printf.sprintf "%.6f" score ])
+             ranked)
+    in
+    Cmd.v
+      (Cmd.info "suggest"
+         ~doc:
+           "Rank un-simulated design points by fold-model disagreement — \
+            where the next simulation teaches the calibrator most")
+      Term.(const run $ model_file_arg $ bench_arg $ spec_file_arg
+            $ instructions_arg $ seed_arg $ count_arg)
+  in
+  Cmd.group
+    (Cmd.info "calibrate"
+       ~doc:
+         "Grey-box ML calibration of the analytical model against the cycle \
+          simulator (train / eval / apply / suggest)")
+    [ train_cmd; eval_cmd; apply_cmd; suggest_cmd ]
 
 (* ---- serve / query ---- *)
 
@@ -794,7 +1109,7 @@ let serve_cmd =
     Arg.(value & flag & info [ "fault-injection" ] ~doc)
   in
   let run socket port workers queue cache conns recv_timeout sweep_cap drain
-      fault_injection =
+      fault_injection calibrate =
     let cfg =
       {
         Server.default_config with
@@ -808,6 +1123,7 @@ let serve_cmd =
         max_sweep_points = sweep_cap;
         drain_timeout_s = drain;
         fault_injection;
+        calibrator = load_calibrator calibrate;
       }
     in
     let server = or_die (Server.create cfg) in
@@ -835,7 +1151,7 @@ let serve_cmd =
           socket protocol (SIGTERM drains and exits 0)")
     Term.(const run $ socket_arg $ port_arg $ workers_arg $ queue_arg
           $ cache_arg $ conns_arg $ recv_timeout_arg $ sweep_cap_arg
-          $ drain_arg $ fault_injection_arg)
+          $ drain_arg $ fault_injection_arg $ calibrate_file_arg)
 
 (* Exit codes, documented for scripting: 0 success; 1 the daemon
    answered with a serving fault (overload, timeout, crash, numeric);
@@ -993,5 +1309,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; profile_cmd; predict_cmd; simulate_cmd; compare_cmd;
-            report_cmd; sweep_cmd; multicore_cmd; validate_cmd; serve_cmd;
-            query_cmd ]))
+            report_cmd; sweep_cmd; multicore_cmd; validate_cmd; calibrate_cmd;
+            serve_cmd; query_cmd ]))

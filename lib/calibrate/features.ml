@@ -1,0 +1,35 @@
+let log2f v = if v > 0.0 then log v /. log 2.0 else 0.0
+
+let uarch_names =
+  [
+    "dispatch_width";
+    "log2_rob";
+    "log2_l1d";
+    "log2_l2";
+    "log2_l3";
+    "rob_per_width";
+  ]
+
+let names =
+  ("intercept" :: uarch_names)
+  @ List.map (fun s -> "stat_" ^ s) Validate.stat_names
+  @ List.map (fun c -> "model_" ^ Cpi_stack.to_string c) Cpi_stack.all
+  @ [ "model_cpi" ]
+
+let n = List.length names
+
+let of_point ~stats (u : Uarch.t) ~model_stack ~model_cpi =
+  let stat name =
+    match List.assoc_opt name stats with Some v -> v | None -> 0.0
+  in
+  Array.of_list
+    ((1.0
+     :: float_of_int u.core.dispatch_width
+     :: log2f (float_of_int u.core.rob_size)
+     :: log2f (float_of_int u.caches.l1d.size_bytes)
+     :: log2f (float_of_int u.caches.l2.size_bytes)
+     :: log2f (float_of_int u.caches.l3.size_bytes)
+     :: [ float_of_int u.core.rob_size /. float_of_int u.core.dispatch_width ])
+    @ List.map stat Validate.stat_names
+    @ List.map (fun c -> Cpi_stack.get model_stack c) Cpi_stack.all
+    @ [ model_cpi ])

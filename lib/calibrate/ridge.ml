@@ -1,0 +1,105 @@
+let predict weights x =
+  if Array.length weights <> Array.length x then
+    invalid_arg "Ridge.predict: length mismatch";
+  let acc = ref 0.0 in
+  for i = 0 to Array.length weights - 1 do
+    acc := !acc +. (weights.(i) *. x.(i))
+  done;
+  !acc
+
+(* Lower-triangular Cholesky factor of a symmetric matrix, in place on a
+   copy; [None] when a pivot is not strictly positive (the matrix is not
+   positive definite, within rounding). *)
+let cholesky a =
+  let d = Array.length a in
+  let l = Array.make_matrix d d 0.0 in
+  let ok = ref true in
+  (try
+     for j = 0 to d - 1 do
+       let s = ref a.(j).(j) in
+       for k = 0 to j - 1 do
+         s := !s -. (l.(j).(k) *. l.(j).(k))
+       done;
+       if not (!s > 0.0 && Float.is_finite !s) then begin
+         ok := false;
+         raise Exit
+       end;
+       l.(j).(j) <- sqrt !s;
+       for i = j + 1 to d - 1 do
+         let s = ref a.(i).(j) in
+         for k = 0 to j - 1 do
+           s := !s -. (l.(i).(k) *. l.(j).(k))
+         done;
+         l.(i).(j) <- !s /. l.(j).(j)
+       done
+     done
+   with Exit -> ());
+  if !ok then Some l else None
+
+(* Solve L Lᵀ w = b by forward then back substitution. *)
+let solve_cholesky l b =
+  let d = Array.length b in
+  let y = Array.make d 0.0 in
+  for i = 0 to d - 1 do
+    let s = ref b.(i) in
+    for k = 0 to i - 1 do
+      s := !s -. (l.(i).(k) *. y.(k))
+    done;
+    y.(i) <- !s /. l.(i).(i)
+  done;
+  let w = Array.make d 0.0 in
+  for i = d - 1 downto 0 do
+    let s = ref y.(i) in
+    for k = i + 1 to d - 1 do
+      s := !s -. (l.(k).(i) *. w.(k))
+    done;
+    w.(i) <- !s /. l.(i).(i)
+  done;
+  w
+
+let fit ~lambda ~rows ~targets =
+  let n = Array.length rows in
+  if n = 0 then Error (Fault.bad_input ~context:"ridge" "empty design matrix")
+  else if Array.length targets <> n then
+    Error
+      (Fault.bad_input ~context:"ridge"
+         (Printf.sprintf "%d rows but %d targets" n (Array.length targets)))
+  else begin
+    let d = Array.length rows.(0) in
+    if Array.exists (fun r -> Array.length r <> d) rows then
+      Error (Fault.bad_input ~context:"ridge" "ragged design matrix")
+    else if not (lambda >= 0.0) then
+      Error (Fault.bad_input ~context:"ridge" "negative lambda")
+    else begin
+      (* Normal equations: A = XᵀX + λI, b = Xᵀy.  Accumulation order is
+         fixed (row-major over the matrix), so the result is a pure
+         function of the inputs — training twice is bit-identical. *)
+      let a = Array.make_matrix d d 0.0 in
+      let b = Array.make d 0.0 in
+      for r = 0 to n - 1 do
+        let x = rows.(r) in
+        for i = 0 to d - 1 do
+          let xi = x.(i) in
+          b.(i) <- b.(i) +. (xi *. targets.(r));
+          for j = 0 to d - 1 do
+            a.(i).(j) <- a.(i).(j) +. (xi *. x.(j))
+          done
+        done
+      done;
+      for i = 0 to d - 1 do
+        a.(i).(i) <- a.(i).(i) +. lambda
+      done;
+      match cholesky a with
+      | None ->
+        Error
+          (Fault.numeric
+             (Printf.sprintf
+                "ridge normal matrix (%d features, lambda %h) is not \
+                 positive definite"
+                d lambda))
+      | Some l ->
+        let w = solve_cholesky l b in
+        if Array.for_all Float.is_finite w then Ok w
+        else Error (Fault.numeric "ridge solve produced non-finite weights")
+    end
+  end

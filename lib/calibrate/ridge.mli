@@ -1,0 +1,29 @@
+(** Closed-form ridge regression via Cholesky factorization.
+
+    The linear half of the grey-box calibrator: weights solve
+    [(XᵀX + λI) w = Xᵀy] exactly (no iteration, no dependence), so
+    training is deterministic to the bit for a given matrix.  Feature
+    counts here are tiny (tens), so the O(d³) solve is instant.
+
+    [lib/util/fit.ml] keeps its Gaussian-elimination solver for the
+    model-internal least squares; this module exists because the
+    calibrator wants the explicit ridge parameter and the positive-
+    definite structure: Cholesky fails loudly (a [Fault.Numeric], never
+    a garbage fit) when the normal matrix loses positive definiteness. *)
+
+val fit :
+  lambda:float ->
+  rows:float array array ->
+  targets:float array ->
+  (float array, Fault.t) result
+(** [fit ~lambda ~rows ~targets] returns the [d] ridge weights for an
+    [n×d] design matrix (every row must have the same width) and [n]
+    targets.  [lambda >= 0] is added to the normal-matrix diagonal;
+    with [lambda = 0] and a full-rank design this is exact ordinary
+    least squares.  [Fault.Numeric] when the normal matrix is not
+    positive definite (rank-deficient design with [lambda = 0]) and
+    [Fault.Bad_input] on shape mismatches. *)
+
+val predict : float array -> float array -> float
+(** [predict weights x]: the dot product; [Invalid_argument] on length
+    mismatch. *)

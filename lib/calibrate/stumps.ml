@@ -1,0 +1,105 @@
+type stump = {
+  st_feature : int;
+  st_threshold : float;
+  st_left : float;
+  st_right : float;
+}
+
+let predict_one st x =
+  if x.(st.st_feature) <= st.st_threshold then st.st_left else st.st_right
+
+let predict stumps x =
+  List.fold_left (fun acc st -> acc +. predict_one st x) 0.0 stumps
+
+let training_loss stumps ~rows ~targets =
+  let n = Array.length rows in
+  if n = 0 then 0.0
+  else begin
+    let acc = ref 0.0 in
+    for i = 0 to n - 1 do
+      let e = targets.(i) -. predict stumps rows.(i) in
+      acc := !acc +. (e *. e)
+    done;
+    !acc /. float_of_int n
+  end
+
+(* One boosting round: the split maximizing the SSE reduction
+   [sumL²/nL + sumR²/nR - sum²/n] over the current residual.  Features
+   ascending, candidate thresholds ascending, strict [>] on the gain —
+   fully deterministic. *)
+let best_split rows residual =
+  let n = Array.length rows in
+  if n < 2 then None
+  else begin
+    let d = Array.length rows.(0) in
+    let total = Array.fold_left ( +. ) 0.0 residual in
+    let base = total *. total /. float_of_int n in
+    let best = ref None in
+    let best_gain = ref 0.0 in
+    let order = Array.init n (fun i -> i) in
+    for f = 0 to d - 1 do
+      (* Stable sort by feature value; ties keep index order, so the
+         scan below is reproducible. *)
+      let key i = rows.(i).(f) in
+      let ord = Array.copy order in
+      Array.stable_sort
+        (fun a b ->
+          let c = Float.compare (key a) (key b) in
+          if c <> 0 then c else compare a b)
+        ord;
+      let sum_left = ref 0.0 in
+      for s = 1 to n - 1 do
+        sum_left := !sum_left +. residual.(ord.(s - 1));
+        let v_prev = key ord.(s - 1) and v_here = key ord.(s) in
+        if v_prev < v_here then begin
+          let n_l = float_of_int s and n_r = float_of_int (n - s) in
+          let sum_r = total -. !sum_left in
+          let gain =
+            (!sum_left *. !sum_left /. n_l) +. (sum_r *. sum_r /. n_r) -. base
+          in
+          if gain > !best_gain && Float.is_finite gain then begin
+            best_gain := gain;
+            let threshold = v_prev +. ((v_here -. v_prev) /. 2.0) in
+            (* A midpoint can round onto the upper value; nudge back to
+               the lower one so the split keeps its intended sides. *)
+            let threshold = if threshold >= v_here then v_prev else threshold in
+            best :=
+              Some
+                ( f,
+                  threshold,
+                  !sum_left /. n_l,
+                  sum_r /. n_r )
+          end
+        end
+      done
+    done;
+    !best
+  end
+
+let fit ~rounds ~shrinkage ~rows ~targets =
+  let n = Array.length rows in
+  if n = 0 || rounds <= 0 then []
+  else begin
+    let residual = Array.copy targets in
+    let stumps = ref [] in
+    (try
+       for _round = 1 to rounds do
+         match best_split rows residual with
+         | None -> raise Exit
+         | Some (f, threshold, mean_l, mean_r) ->
+           let st =
+             {
+               st_feature = f;
+               st_threshold = threshold;
+               st_left = shrinkage *. mean_l;
+               st_right = shrinkage *. mean_r;
+             }
+           in
+           stumps := st :: !stumps;
+           for i = 0 to n - 1 do
+             residual.(i) <- residual.(i) -. predict_one st rows.(i)
+           done
+       done
+     with Exit -> ());
+    List.rev !stumps
+  end

@@ -24,9 +24,10 @@ let make config ~index ~cycles ~instructions ~activity =
     sw_ed2p = Power.ed2p config breakdown ~cycles;
   }
 
-let of_prediction config ~index (p : Interval_model.prediction) =
-  make config ~index ~cycles:p.pr_cycles ~instructions:p.pr_instructions
-    ~activity:p.pr_activity
+let of_prediction ?cycles config ~index (p : Interval_model.prediction) =
+  make config ~index
+    ~cycles:(Option.value cycles ~default:p.pr_cycles)
+    ~instructions:p.pr_instructions ~activity:p.pr_activity
 
 let of_sim config ~index (r : Sim_result.t) =
   make config ~index ~cycles:(float_of_int r.r_cycles)
@@ -236,7 +237,7 @@ let run_sweep ?jobs ?checkpoint ?resume ?checkpoint_every ?keep_going ~workload
        ())
 
 let model_sweep_result ?(options = Interval_model.default_options) ?jobs
-    ?checkpoint ?resume ?checkpoint_every ?keep_going ~profile configs =
+    ?checkpoint ?resume ?checkpoint_every ?keep_going ?adjust ~profile configs =
   match Profile.validate profile with
   | Error ft -> Error ft
   | Ok () ->
@@ -250,8 +251,9 @@ let model_sweep_result ?(options = Interval_model.default_options) ?jobs
     run_sweep ?jobs ?checkpoint ?resume ?checkpoint_every ?keep_going
       ~workload:profile.Profile.p_workload
       ~eval_point:(fun index config ->
-        of_prediction config ~index
-          (Interval_model.predict ~options config profile))
+        let pred = Interval_model.predict ~options config profile in
+        let cycles = Option.map (fun f -> f config pred) adjust in
+        of_prediction ?cycles config ~index pred)
       configs
 
 let sim_sweep_result ?jobs ?checkpoint ?resume ?checkpoint_every ?keep_going
@@ -573,8 +575,8 @@ let run_stream ?(jobs = 1) ?checkpoint ?(block_size = default_block_size)
   end
 
 let model_sweep_stream ?(options = Interval_model.default_options) ?jobs
-    ?checkpoint ?block_size ?keep_going ?on_point ?offset ?length ~profile
-    space =
+    ?checkpoint ?block_size ?keep_going ?on_point ?offset ?length ?adjust
+    ~profile space =
   match Profile.validate profile with
   | Error ft -> Error ft
   | Ok () ->
@@ -586,8 +588,9 @@ let model_sweep_stream ?(options = Interval_model.default_options) ?jobs
       ~n_points:(Config_space.size space) ?offset ?length
       ~eval_point:(fun i ->
         let config = Config_space.config_of_index space i in
-        of_prediction config ~index:i
-          (Interval_model.predict ~options config profile))
+        let pred = Interval_model.predict ~options config profile in
+        let cycles = Option.map (fun f -> f config pred) adjust in
+        of_prediction ?cycles config ~index:i pred)
       ()
 
 (* ---- Legacy raising interface ---- *)
@@ -608,8 +611,8 @@ let evals_exn = function
         (function Ok e -> e | Error _ -> assert false)
         outcome.o_results)
 
-let model_sweep ?options ?jobs ~profile configs =
-  evals_exn (model_sweep_result ?options ?jobs ~profile configs)
+let model_sweep ?options ?jobs ?adjust ~profile configs =
+  evals_exn (model_sweep_result ?options ?jobs ?adjust ~profile configs)
 
 let sim_sweep ?jobs ~spec ~seed ~n_instructions configs =
   evals_exn (sim_sweep_result ?jobs ~spec ~seed ~n_instructions configs)

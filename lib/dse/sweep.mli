@@ -22,7 +22,14 @@ type eval = {
   sw_ed2p : float;
 }
 
-val of_prediction : Uarch.t -> index:int -> Interval_model.prediction -> eval
+val of_prediction :
+  ?cycles:float -> Uarch.t -> index:int -> Interval_model.prediction -> eval
+(** [?cycles] overrides the prediction's cycle count — the hook the
+    grey-box calibrator uses to correct a prediction: CPI, seconds,
+    energy and ED²P are all re-derived from the corrected cycles, while
+    the activity-based power estimate keeps the analytical activity
+    factors. *)
+
 val of_sim : Uarch.t -> index:int -> Sim_result.t -> eval
 
 type point_result = (eval, Fault.t) result
@@ -90,6 +97,7 @@ val model_sweep_result :
   ?resume:string ->
   ?checkpoint_every:int ->
   ?keep_going:bool ->
+  ?adjust:(Uarch.t -> Interval_model.prediction -> float) ->
   profile:Profile.t ->
   Uarch.t list ->
   (outcome, Fault.t) result
@@ -111,6 +119,11 @@ val model_sweep_result :
     first batch containing a fault and marks the remaining points as
     skipped ([Error], not written to the checkpoint, so a later resume
     still evaluates them).
+
+    [?adjust config pred] returns a corrected cycle count for the point
+    (see {!of_prediction}); it must be deterministic and thread-safe —
+    it runs on the worker domains, and checkpoints store adjusted
+    values, so resume an adjusted sweep only with the same adjustment.
 
     The outer [Error] is reserved for whole-sweep failures: invalid
     profile, unreadable/mismatched checkpoint. *)
@@ -218,6 +231,7 @@ val model_sweep_stream :
   ?on_point:(int -> point_result -> unit) ->
   ?offset:int ->
   ?length:int ->
+  ?adjust:(Uarch.t -> Interval_model.prediction -> float) ->
   profile:Profile.t ->
   Config_space.t ->
   (stream_summary, Fault.t) result
@@ -230,6 +244,7 @@ val model_sweep_stream :
 val model_sweep :
   ?options:Interval_model.options ->
   ?jobs:int ->
+  ?adjust:(Uarch.t -> Interval_model.prediction -> float) ->
   profile:Profile.t ->
   Uarch.t list ->
   eval list

@@ -13,6 +13,7 @@ type config = {
   degraded_crash_threshold : int;
   degraded_window_s : float;
   degraded_cooldown_s : float;
+  calibrator : Calibrate.t option;
 }
 
 let default_config =
@@ -31,6 +32,7 @@ let default_config =
     degraded_crash_threshold = 3;
     degraded_window_s = 10.0;
     degraded_cooldown_s = 5.0;
+    calibrator = None;
   }
 
 (* The one exception that is *meant* to escape per-request isolation:
@@ -131,10 +133,15 @@ let check_deadline deadline =
     raise (Fault.Error (Fault.timeout "per-request deadline exceeded"))
   | _ -> ()
 
-let prediction_kv u pred =
-  let ev = Sweep.of_prediction u ~index:0 pred in
+let prediction_kv ?calibrated u pred =
+  let cycles, stack =
+    match calibrated with
+    | None -> (None, Interval_model.cpi_stack pred)
+    | Some (stack, cpi) ->
+      (Some (cpi *. pred.Interval_model.pr_instructions), stack)
+  in
+  let ev = Sweep.of_prediction ?cycles u ~index:0 pred in
   let ev = Fault.or_raise (Sweep.check_numeric ev) in
-  let stack = Interval_model.cpi_stack pred in
   Protocol.float_kv "cpi" ev.Sweep.sw_cpi
   :: Protocol.float_kv "cycles" ev.sw_cycles
   :: Protocol.float_kv "watts" ev.sw_watts
@@ -153,7 +160,16 @@ let do_predict t ~rq_profile ~rq_config ~rq_prefetch =
   let u = Fault.or_raise (Uarch.of_name rq_config) in
   let u = if rq_prefetch then Uarch.with_prefetcher u true else u in
   let pred = Interval_model.predict u profile in
-  Protocol.Ok_reply { rp_op = "predict"; rp_kv = prediction_kv u pred }
+  let calibrated =
+    match t.cfg.calibrator with
+    | None -> None
+    | Some cal ->
+      let stats = Validate.profile_stats profile in
+      Some
+        (Calibrate.apply_stack cal ~stats u
+           (Interval_model.cpi_stack pred, Interval_model.cpi pred))
+  in
+  Protocol.Ok_reply { rp_op = "predict"; rp_kv = prediction_kv ?calibrated u pred }
 
 let do_sweep t ~deadline ~rq_profile ~rq_space ~rq_offset ~rq_limit =
   let profile = Fault.or_raise (Profile_cache.find t.cache rq_profile) in

@@ -1,0 +1,39 @@
+(** A minimal recursive-descent JSON reader.
+
+    The repo emits several machine-readable JSON reports
+    ([BENCH_*.json], the calibration training matrix) with hand-rolled
+    printers; this is the matching reader for the subset we emit —
+    objects, arrays, strings (with the standard escapes), numbers,
+    booleans and null — so typed values can round-trip through JSON
+    without an external dependency.  Numbers are parsed as [float];
+    object member order is preserved. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : context:string -> string -> (t, Fault.t) result
+(** Parse one JSON document (trailing whitespace allowed, anything else
+    after the value is an error).  Failures are [Fault.Bad_input] with
+    the 1-based line of the offending byte. *)
+
+(** {1 Accessors}
+
+    All partial accessors return [option]; use {!member_exn} and friends
+    only inside a [Fault.protect]-style wrapper. *)
+
+val member : string -> t -> t option
+(** First member with that key of an [Obj]; [None] otherwise. *)
+
+val to_list : t -> t list option
+val to_float : t -> float option
+(** [Num] directly, or a [Str] holding a float literal — the repo's
+    reports write bit-exact floats as ["0x1.5p3"]-style hex strings,
+    which JSON numbers cannot carry. *)
+
+val to_string : t -> string option
+val to_int : t -> int option

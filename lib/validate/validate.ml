@@ -86,6 +86,40 @@ let check p =
             p.vp_index p.vp_sim_cpi))
   else Ok p
 
+(* ---- Workload statistics ---- *)
+
+(* The micro-architecture independent summary of a profile that the
+   grey-box calibrator uses as features, in a fixed named order so a
+   serialized model stays aligned with freshly computed statistics. *)
+let stat_names =
+  [
+    "uops_per_instruction";
+    "branch_entropy";
+    "branch_fraction";
+    "cold_miss_rate";
+    "inst_cold_fraction";
+    "ap_rob128";
+    "abp_rob128";
+    "cp_rob128";
+    "data_accesses_per_instruction";
+  ]
+
+let profile_stats (p : Profile.t) =
+  let total = float_of_int p.Profile.p_total_instructions in
+  [
+    ("uops_per_instruction", p.Profile.p_uops_per_instruction);
+    ("branch_entropy", p.Profile.p_entropy);
+    ("branch_fraction", p.Profile.p_branch_fraction);
+    ("cold_miss_rate", Profile.cold_miss_rate p);
+    ("inst_cold_fraction", p.Profile.p_inst_cold_fraction);
+    ("ap_rob128", Profile.mean_chain p ~which:`Ap ~rob:128);
+    ("abp_rob128", Profile.mean_chain p ~which:`Abp ~rob:128);
+    ("cp_rob128", Profile.mean_chain p ~which:`Cp ~rob:128);
+    ( "data_accesses_per_instruction",
+      if total = 0.0 then 0.0
+      else float_of_int p.Profile.p_data_accesses /. total );
+  ]
+
 (* ---- Reports ---- *)
 
 type component_error = {
@@ -98,6 +132,7 @@ type component_error = {
 
 type workload_report = {
   wr_workload : string;
+  wr_stats : (string * float) list;
   wr_n_points : int;
   wr_points : point list;
   wr_faults : (int * Fault.t) list;
@@ -151,7 +186,7 @@ let component_errors points =
       })
     Cpi_stack.all
 
-let workload_report ~workload (r : point Sweep.run) =
+let workload_report ?(stats = []) ~workload (r : point Sweep.run) =
   let points = List.filter_map Result.to_option r.run_results in
   let faults =
     List.filter_map
@@ -172,6 +207,7 @@ let workload_report ~workload (r : point Sweep.run) =
   in
   {
     wr_workload = workload;
+    wr_stats = stats;
     wr_n_points = List.length r.run_results;
     wr_points = points;
     wr_faults = faults;
@@ -252,18 +288,25 @@ let default_n_instructions = 60_000
    checked-in workloads on the `Sim matrix. *)
 let default_gate = 0.12
 
+type calibrator =
+  stats:(string * float) list ->
+  Uarch.t ->
+  Cpi_stack.t * float ->
+  Cpi_stack.t * float
+
 let run_workload ?(options = Interval_model.default_options) ?jobs ?checkpoint
     ?resume ?checkpoint_every ?keep_going ?(seed = 1)
-    ?(n_instructions = default_n_instructions) ~spec configs =
+    ?(n_instructions = default_n_instructions) ?calibrate ~spec configs =
   let configs_a = Array.of_list configs in
   let profile = Profiler.profile spec ~seed ~n_instructions in
+  let stats = profile_stats profile in
   (* Force the config-independent StatStack structures before the
      fan-out, as the model sweep does: workers then only read memos. *)
   (match options.Interval_model.combine with
   | `Separate -> Profile.prepare profile
   | `Combined -> ());
   Result.map
-    (workload_report ~workload:spec.Workload_spec.wname)
+    (workload_report ~stats ~workload:spec.Workload_spec.wname)
     (Sweep.run_generic ?jobs ?checkpoint ?resume ?checkpoint_every ?keep_going
        ~workload:spec.Workload_spec.wname
        ~n_points:(Array.length configs_a) ~width:payload_width ~encode
@@ -273,7 +316,17 @@ let run_workload ?(options = Interval_model.default_options) ?jobs ?checkpoint
          let u = configs_a.(i) in
          let pred = Interval_model.predict ~options u profile in
          let sim = Simulator.run u spec ~seed ~n_instructions in
-         point ~index:i u pred sim)
+         let p = point ~index:i u pred sim in
+         match calibrate with
+         | None -> p
+         | Some f ->
+           (* The calibrated stack replaces the raw model stack, so every
+              downstream error table, trend and gate measures the
+              corrected prediction.  The checkpoint payload stores the
+              calibrated values too: resuming with a different (or no)
+              calibrator is a checkpoint-mismatch bug the caller owns. *)
+           let stack, cpi = f ~stats u (p.vp_model_stack, p.vp_model_cpi) in
+           { p with vp_model_stack = stack; vp_model_cpi = cpi })
        ())
 
 (* ---- Reporting ---- *)
@@ -421,3 +474,169 @@ let print_workload_report oc wr =
   List.iter
     (fun (idx, ft) -> p "  fault at point %d: %s\n" idx (Fault.to_string ft))
     wr.wr_faults
+
+(* ---- Training matrix ---- *)
+
+(* The typed export the calibrator trains on: one row per successfully
+   validated point, carrying the workload statistics, the design point
+   and both engines' CPI stacks.  The JSON form keeps every float as a
+   ["%h"] hex string — valid JSON, but bit-exact on the way back in,
+   which is what makes retraining from a saved matrix byte-identical to
+   training in-process. *)
+
+type matrix_row = {
+  mr_workload : string;
+  mr_stats : (string * float) list;
+  mr_point : point;
+}
+
+let matrix_of_report rp =
+  List.concat_map
+    (fun wr ->
+      List.map
+        (fun p ->
+          { mr_workload = wr.wr_workload; mr_stats = wr.wr_stats; mr_point = p })
+        wr.wr_points)
+    rp.rp_workloads
+
+let hexf v = Printf.sprintf "\"%h\"" v
+
+let matrix_to_buffer buf rows =
+  let p fmt = Printf.bprintf buf fmt in
+  p "{\n  \"schema\": \"mipp-matrix-v1\",\n  \"rows\": [";
+  List.iteri
+    (fun i row ->
+      if i > 0 then p ",";
+      let pt = row.mr_point in
+      p "\n    { \"workload\": \"%s\", \"index\": %d, \"uarch\": \"%s\",\n"
+        (json_escape row.mr_workload)
+        pt.vp_index
+        (json_escape pt.vp_uarch.Uarch.name);
+      p "      \"stats\": {";
+      List.iteri
+        (fun j (name, v) ->
+          if j > 0 then p ", ";
+          p "\"%s\": %s" (json_escape name) (hexf v))
+        row.mr_stats;
+      p "},\n";
+      let stack name s =
+        p "      \"%s\": [" name;
+        List.iteri
+          (fun j (_, v) ->
+            if j > 0 then p ", ";
+            p "%s" (hexf v))
+          (Cpi_stack.to_alist s);
+        p "]"
+      in
+      stack "model_stack" pt.vp_model_stack;
+      p ",\n      \"model_cpi\": %s,\n" (hexf pt.vp_model_cpi);
+      stack "sim_stack" pt.vp_sim_stack;
+      p ",\n      \"sim_cpi\": %s }" (hexf pt.vp_sim_cpi))
+    rows;
+  p "\n  ]\n}\n"
+
+let matrix_to_json rows =
+  let buf = Buffer.create 4096 in
+  matrix_to_buffer buf rows;
+  Buffer.contents buf
+
+let matrix_context = "training matrix"
+
+let matrix_of_json text =
+  let ( let* ) = Result.bind in
+  let bad msg = Error (Fault.bad_input ~context:matrix_context msg) in
+  let need what = function Some v -> Ok v | None -> bad ("missing " ^ what) in
+  let* json = Minijson.parse ~context:matrix_context text in
+  let* schema =
+    need "schema" (Option.bind (Minijson.member "schema" json) Minijson.to_string)
+  in
+  let* () =
+    if schema = "mipp-matrix-v1" then Ok ()
+    else bad (Printf.sprintf "unknown schema %S" schema)
+  in
+  let* rows =
+    need "rows" (Option.bind (Minijson.member "rows" json) Minijson.to_list)
+  in
+  let stack_of json_v what =
+    let* items = need what (Option.bind json_v Minijson.to_list) in
+    let* values =
+      List.fold_right
+        (fun item acc ->
+          let* acc = acc in
+          let* v = need (what ^ " entry") (Minijson.to_float item) in
+          Ok (v :: acc))
+        items (Ok [])
+    in
+    if List.length values <> Cpi_stack.n_components then
+      bad
+        (Printf.sprintf "%s has %d entries, expected %d" what
+           (List.length values) Cpi_stack.n_components)
+    else
+      let arr = Array.of_list values in
+      Ok (Cpi_stack.make (fun c -> arr.(Cpi_stack.index c)))
+  in
+  let row_of json_row =
+    let field what conv =
+      need what (Option.bind (Minijson.member what json_row) conv)
+    in
+    let* workload = field "workload" Minijson.to_string in
+    let* index = field "index" Minijson.to_int in
+    let* uname = field "uarch" Minijson.to_string in
+    let* uarch = Uarch.of_name uname in
+    let* stats_obj =
+      need "stats"
+        (match Minijson.member "stats" json_row with
+        | Some (Minijson.Obj members) -> Some members
+        | _ -> None)
+    in
+    let* stats =
+      List.fold_right
+        (fun (name, v) acc ->
+          let* acc = acc in
+          let* f = need ("stat " ^ name) (Minijson.to_float v) in
+          Ok ((name, f) :: acc))
+        stats_obj (Ok [])
+    in
+    let* model_stack = stack_of (Minijson.member "model_stack" json_row) "model_stack" in
+    let* model_cpi = field "model_cpi" Minijson.to_float in
+    let* sim_stack = stack_of (Minijson.member "sim_stack" json_row) "sim_stack" in
+    let* sim_cpi = field "sim_cpi" Minijson.to_float in
+    Ok
+      {
+        mr_workload = workload;
+        mr_stats = stats;
+        mr_point =
+          {
+            vp_index = index;
+            vp_uarch = uarch;
+            vp_model_stack = model_stack;
+            vp_model_cpi = model_cpi;
+            vp_sim_stack = sim_stack;
+            vp_sim_cpi = sim_cpi;
+          };
+      }
+  in
+  List.fold_right
+    (fun r acc ->
+      let* acc = acc in
+      let* row = row_of r in
+      Ok (row :: acc))
+    rows (Ok [])
+
+let save_matrix path rows =
+  Fault.protect ~context:(matrix_context ^ " " ^ path) (fun () ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc (matrix_to_json rows)))
+
+let load_matrix path =
+  match
+    Fault.protect ~context:(matrix_context ^ " " ^ path) (fun () ->
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic)))
+  with
+  | Error _ as e -> e
+  | Ok text -> matrix_of_json text

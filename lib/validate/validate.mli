@@ -42,6 +42,20 @@ val component_signed_error : point -> Cpi_stack.component -> float
     simulated CPI — component errors are comparable across components
     and sum (over components) to {!signed_error}. *)
 
+(** {1 Workload statistics} *)
+
+val stat_names : string list
+(** The fixed, ordered names of the micro-architecture independent
+    workload statistics exported per profile — the calibrator's
+    profile-side feature axis.  {!profile_stats} returns exactly these
+    names in exactly this order. *)
+
+val profile_stats : Profile.t -> (string * float) list
+(** Summary statistics of one profile (µops/instruction, branch entropy
+    and fraction, cold-miss rates, dependence-chain lengths at the
+    reference ROB, data accesses per instruction), keyed by
+    {!stat_names}. *)
+
 (** {1 Error reports} *)
 
 (** Aggregate error of one stack component over a point matrix. *)
@@ -55,6 +69,7 @@ type component_error = {
 
 type workload_report = {
   wr_workload : string;
+  wr_stats : (string * float) list;  (** {!profile_stats} of the profile *)
   wr_n_points : int;
   wr_points : point list;  (** successfully evaluated points, in order *)
   wr_faults : (int * Fault.t) list;  (** (index, fault) for the rest *)
@@ -105,6 +120,18 @@ val default_gate : float
     the paper's ~10% headline accuracy plus two points of headroom so
     seed/budget drift does not flap CI. *)
 
+type calibrator =
+  stats:(string * float) list ->
+  Uarch.t ->
+  Cpi_stack.t * float ->
+  Cpi_stack.t * float
+(** A per-point model correction: given the workload statistics, the
+    design point and the raw (model stack, model CPI), return the
+    calibrated pair.  Kept abstract as a closure so this library needs
+    no dependency on the calibrator that implements it
+    ([lib/calibrate] depends on this one, not vice versa).  Must be
+    deterministic and thread-safe: it runs inside the worker fan-out. *)
+
 val run_workload :
   ?options:Interval_model.options ->
   ?jobs:int ->
@@ -114,6 +141,7 @@ val run_workload :
   ?keep_going:bool ->
   ?seed:int ->
   ?n_instructions:int ->
+  ?calibrate:calibrator ->
   spec:Workload_spec.t ->
   Uarch.t list ->
   (workload_report, Fault.t) result
@@ -123,7 +151,13 @@ val run_workload :
     CRC-per-line log as the design sweeps (payload width differs, so a
     design-sweep log cannot be resumed as a validation log or vice
     versa).  The outer [Error] is reserved for whole-run failures
-    (unreadable or mismatched checkpoint). *)
+    (unreadable or mismatched checkpoint).
+
+    [?calibrate] replaces each point's model stack and CPI with the
+    calibrated prediction before any error is computed, so the whole
+    report (MAPE, component tables, trends, gate) measures the
+    corrected model.  Checkpoints then store calibrated values; resume
+    a calibrated run only with the same calibrator. *)
 
 (** {1 Reporting} *)
 
@@ -140,3 +174,26 @@ val save_json : ?gate:float -> string -> report -> (unit, Fault.t) result
 
 val print_workload_report : out_channel -> workload_report -> unit
 (** Human-readable per-workload table (components, errors, trends). *)
+
+(** {1 Training matrix}
+
+    The typed export the grey-box calibrator consumes: one row per
+    successfully validated point.  [matrix_to_json] emits valid JSON
+    (schema ["mipp-matrix-v1"]) whose floats are ["%h"] hex strings, so
+    [matrix_of_json] recovers every value bit-exactly —
+    matrix→JSON→matrix is the identity for rows whose design point has
+    a canonical {!Uarch.of_name} name (all matrix configs do). *)
+
+type matrix_row = {
+  mr_workload : string;
+  mr_stats : (string * float) list;
+  mr_point : point;
+}
+
+val matrix_of_report : report -> matrix_row list
+(** Every successful point of every workload, in report order. *)
+
+val matrix_to_json : matrix_row list -> string
+val matrix_of_json : string -> (matrix_row list, Fault.t) result
+val save_matrix : string -> matrix_row list -> (unit, Fault.t) result
+val load_matrix : string -> (matrix_row list, Fault.t) result

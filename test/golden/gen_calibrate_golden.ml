@@ -1,0 +1,58 @@
+(* Golden snapshot of the trained calibration model for the three
+   checked-in workload files over the quick design matrix at a small
+   instruction budget.
+
+   Pins the whole calibration pipeline at once: the workload statistics
+   ({!Validate.profile_stats}), the feature vector, the deterministic
+   train/holdout split, the closed-form ridge solve and the boosted
+   stumps — every main-model coefficient appears verbatim as a hex
+   float, so any numeric drift anywhere upstream shows up as a
+   reviewable `dune promote` diff. *)
+
+let seed = 1
+let n_instructions = 8_000
+let pf fmt = Printf.printf fmt
+
+let () =
+  let specs =
+    List.map
+      (fun path -> Fault.or_raise (Workload_parser.load path))
+      (List.tl (Array.to_list Sys.argv))
+  in
+  let configs = Validate.matrix_configs `Quick in
+  let reports =
+    List.map
+      (fun spec ->
+        Fault.or_raise
+          (Validate.run_workload ~jobs:1 ~seed ~n_instructions ~spec configs))
+      specs
+  in
+  let rows = Validate.matrix_of_report (Validate.summarize reports) in
+  let model, ev = Fault.or_raise (Calibrate.train rows) in
+  pf "matrix: quick x %d workloads  seed: %d  instructions: %d  rows: %d\n"
+    (List.length specs) seed n_instructions (List.length rows);
+  pf "features: %d  folds: %d  split seed: %d  holdout: %g\n"
+    (List.length model.Calibrate.c_feature_names)
+    model.c_folds model.c_split_seed model.c_holdout;
+  pf "train:   %2d points  mape %.6f -> %.6f\n" ev.Calibrate.ev_train.se_n
+    ev.ev_train.se_uncal_mape ev.ev_train.se_cal_mape;
+  pf "holdout: %2d points  mape %.6f -> %.6f\n" ev.ev_holdout.se_n
+    ev.ev_holdout.se_uncal_mape ev.ev_holdout.se_cal_mape;
+  pf "holdout points:\n";
+  List.iter (fun n -> pf "  %s\n" n) model.c_holdout_names;
+  pf "\nmain model (ridge weights as hex floats, then stumps):\n";
+  List.iteri
+    (fun i comp ->
+      let cm = model.c_components.(i) in
+      pf "component %s: %d stumps\n" (Cpi_stack.to_string comp)
+        (List.length cm.Calibrate.cm_stumps);
+      List.iteri
+        (fun j name -> pf "  %-28s %h\n" name cm.cm_ridge.(j))
+        model.c_feature_names;
+      List.iteri
+        (fun j (st : Stumps.stump) ->
+          pf "  stump %2d: f%d <= %h ? %h : %h\n" j st.st_feature
+            st.st_threshold st.st_left st.st_right)
+        cm.cm_stumps)
+    Cpi_stack.all;
+  pf "\nserialized model crc32: %s\n" (Crc32.to_hex (Crc32.string (Calibrate.to_string model)))

@@ -291,6 +291,63 @@ let test_serve_predict_exact () =
           Alcotest.(check (float 1e-6)) "stack sums to CPI" pr.pr_cpi
             stack_total))
 
+let calibrator =
+  lazy
+    (let report =
+       Fault.or_raise
+         (Validate.run_workload ~jobs:2 ~seed:1 ~n_instructions:8_000
+            ~spec:(Benchmarks.find "gcc")
+            (Validate.matrix_configs `Quick))
+     in
+     let rows = Validate.matrix_of_report (Validate.summarize [ report ]) in
+     match Calibrate.train rows with
+     | Ok (m, _) -> m
+     | Error ft -> Alcotest.failf "train: %s" (Fault.to_string ft))
+
+let test_serve_calibrated_predict_exact () =
+  (* A daemon configured with a calibration model must answer exactly
+     what applying the model in-process yields: same calibrated cycles,
+     same calibrated stack, down to the bit (hex-float wire format). *)
+  let cal = Lazy.force calibrator in
+  with_server
+    ~cfg:{ Server.default_config with calibrator = Some cal }
+    (fun path _server ->
+      with_client path (fun client ->
+          let key = ok (Client.load client (Lazy.force profile_bytes)) in
+          let pr =
+            ok (Client.predict client ~profile:key ~config:"reference" ())
+          in
+          let u = Fault.or_raise (Uarch.of_name "reference") in
+          let p = Lazy.force profile in
+          let pred = Interval_model.predict u p in
+          let stats = Validate.profile_stats p in
+          let cycles = Calibrate.calibrated_cycles cal ~stats u pred in
+          Alcotest.(check bool) "calibrated cycles bit-exact" true
+            (Int64.equal
+               (Int64.bits_of_float pr.Client.pr_cycles)
+               (Int64.bits_of_float cycles));
+          let cal_stack, _ =
+            Calibrate.apply_stack cal ~stats u
+              (Interval_model.cpi_stack pred, Interval_model.cpi pred)
+          in
+          List.iter
+            (fun comp ->
+              let name = "stack_" ^ Cpi_stack.to_string comp in
+              match List.assoc_opt (Cpi_stack.to_string comp) pr.pr_stack with
+              | None -> Alcotest.failf "reply missing %s" name
+              | Some v ->
+                Alcotest.(check bool) (name ^ " bit-exact") true
+                  (Int64.equal (Int64.bits_of_float v)
+                     (Int64.bits_of_float (Cpi_stack.get cal_stack comp))))
+            Cpi_stack.all;
+          (* The calibrated reply must differ from the uncalibrated one
+             somewhere, or the wiring is dead. *)
+          let raw = Sweep.of_prediction u ~index:0 pred in
+          Alcotest.(check bool) "calibration changed the cycles" false
+            (Int64.equal
+               (Int64.bits_of_float pr.pr_cycles)
+               (Int64.bits_of_float raw.Sweep.sw_cycles))))
+
 let test_serve_sweep_exact () =
   with_server (fun path _server ->
       with_client path (fun client ->
@@ -600,6 +657,8 @@ let () =
       ( "daemon",
         [
           Alcotest.test_case "predict bit-exact" `Quick test_serve_predict_exact;
+          Alcotest.test_case "calibrated predict bit-exact" `Quick
+            test_serve_calibrated_predict_exact;
           Alcotest.test_case "sweep bit-exact" `Quick test_serve_sweep_exact;
           Alcotest.test_case "bad requests fault" `Quick
             test_serve_bad_requests_fault;

@@ -336,6 +336,7 @@ let test_gate_and_summary () =
     Validate.
       {
         wr_workload = "synthetic";
+        wr_stats = [];
         wr_n_points = List.length points;
         wr_points = points;
         wr_faults = [];
